@@ -1,0 +1,74 @@
+//! One Criterion benchmark per paper table/figure: each measures the time
+//! to regenerate a scaled-down version of that artifact (the full-budget
+//! regeneration lives in `cargo run -p lsq-experiments --bin <id>`).
+//!
+//! Besides timing, each bench sanity-checks the artifact's row count, so
+//! `cargo bench` doubles as an end-to-end smoke of the whole harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsq_experiments::experiments;
+use lsq_experiments::RunSpec;
+use std::hint::black_box;
+
+/// Small budget so a full `cargo bench` pass stays in minutes.
+const SPEC: RunSpec = RunSpec { warmup: 2_000, instrs: 6_000, seed: 1 };
+
+macro_rules! artifact_bench {
+    ($fn_name:ident, $exp:ident, $rows:expr) => {
+        fn $fn_name(c: &mut Criterion) {
+            let mut g = c.benchmark_group("paper");
+            g.sample_size(10);
+            g.bench_function(stringify!($exp), |b| {
+                b.iter(|| {
+                    let a = experiments::$exp(black_box(SPEC));
+                    assert_eq!(a.table.len(), $rows, "{} row count", a.id);
+                    black_box(a)
+                })
+            });
+            g.finish();
+        }
+    };
+}
+
+fn table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper");
+    g.bench_function("table1", |b| {
+        b.iter(|| {
+            let a = experiments::table1();
+            assert!(a.table.len() >= 9);
+            black_box(a)
+        })
+    });
+    g.finish();
+}
+
+artifact_bench!(table2, table2, 18);
+artifact_bench!(fig6, fig6, 18);
+artifact_bench!(fig7, fig7, 18);
+artifact_bench!(table3, table3, 18);
+artifact_bench!(fig8, fig8, 18);
+artifact_bench!(table4, table4, 18);
+artifact_bench!(fig9, fig9, 18);
+artifact_bench!(fig10, fig10, 18);
+artifact_bench!(fig11, fig11, 18);
+artifact_bench!(table5, table5, 18);
+artifact_bench!(table6, table6, 18);
+artifact_bench!(fig12, fig12, 18);
+
+criterion_group!(
+    artifacts,
+    table1,
+    table2,
+    fig6,
+    fig7,
+    table3,
+    fig8,
+    table4,
+    fig9,
+    fig10,
+    fig11,
+    table5,
+    table6,
+    fig12
+);
+criterion_main!(artifacts);

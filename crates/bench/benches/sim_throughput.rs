@@ -1,0 +1,66 @@
+//! Simulator throughput: simulated instructions per second of wall-clock
+//! time, across workload classes and LSQ design points. This is the
+//! "how expensive is a reproduction run" benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lsq_core::{LsqConfig, SegAlloc};
+use lsq_pipeline::{SimConfig, Simulator};
+use lsq_trace::BenchProfile;
+use std::hint::black_box;
+
+const INSTRS: u64 = 20_000;
+
+fn run_once(bench: &str, lsq: LsqConfig) -> u64 {
+    let profile = BenchProfile::named(bench).expect("known benchmark");
+    let mut stream = profile.stream(1);
+    let mut sim = Simulator::new(SimConfig::with_lsq(lsq));
+    sim.prewarm(&stream.data_regions(), stream.code_region());
+    sim.run(&mut stream, INSTRS).cycles
+}
+
+fn sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(INSTRS));
+    // One representative per class: high-IPC INT, pointer-chaser,
+    // streaming FP.
+    for bench in ["perl", "mcf", "mgrid"] {
+        g.bench_function(format!("{bench}/base"), |b| {
+            b.iter(|| black_box(run_once(bench, LsqConfig::default())))
+        });
+    }
+    // Design points on one benchmark: the techniques must not make the
+    // *simulator* pathologically slower.
+    g.bench_function("gcc/techniques_1port", |b| {
+        b.iter(|| black_box(run_once("gcc", LsqConfig::with_techniques(1))))
+    });
+    g.bench_function("gcc/segmented_sc", |b| {
+        b.iter(|| black_box(run_once("gcc", LsqConfig::segmented(SegAlloc::SelfCircular))))
+    });
+    g.bench_function("gcc/all_techniques", |b| {
+        b.iter(|| black_box(run_once("gcc", LsqConfig::all_techniques_one_port())))
+    });
+    g.finish();
+}
+
+fn trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_generation");
+    g.throughput(Throughput::Elements(INSTRS));
+    for bench in ["gcc", "mgrid"] {
+        g.bench_function(bench, |b| {
+            b.iter(|| {
+                use lsq_isa::InstructionStream;
+                let mut s = BenchProfile::named(bench).unwrap().stream(1);
+                let mut sum = 0u64;
+                for _ in 0..INSTRS {
+                    sum ^= s.next_instr().unwrap().addr.0;
+                }
+                black_box(sum)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(throughput, sim_throughput, trace_generation);
+criterion_main!(throughput);

@@ -1,0 +1,1 @@
+//! Criterion benchmark harness for the LSQ reproduction; see `benches/`.

@@ -1,0 +1,384 @@
+//! Configuration of the load/store queue models.
+//!
+//! A single [`LsqConfig`] describes one design point: queue capacities and
+//! search ports, which search-filtering predictor runs in front of the
+//! store queue (§2.1), how load-load ordering is enforced (§2.2), and
+//! whether and how the queues are segmented (§3). The paper's figures are
+//! sweeps over these fields; `LsqConfig` provides named constructors for
+//! the recurring design points.
+
+/// An invalid [`LsqConfig`] (or simulator configuration built on one).
+///
+/// Carries a human-readable description of the first inconsistent field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl ConfigError {
+    /// Creates an error with the given description.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Which predictor filters load → store-queue searches (paper §2.1,
+/// Figures 6 and 7).
+///
+/// In every variant the underlying store-set predictor still provides
+/// memory-dependence *issue gating* (the paper's Table 1 base
+/// configuration includes it); the variants differ only in which loads
+/// spend a store-queue search port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PredictorKind {
+    /// Conventional: every load searches the store queue.
+    #[default]
+    None,
+    /// Oracle: a load searches iff an older in-flight store to the same
+    /// word exists at the moment the load issues.
+    Perfect,
+    /// Alias-free emulation of the store-load pair predictor: unbounded
+    /// tables, so store sets never conflict. Overly eager to predict
+    /// independence (the paper's "aggressive" predictor).
+    Aggressive,
+    /// The paper's store-load pair predictor on realistic 4K-entry SSIT /
+    /// 128-entry LFST tables with a 3-bit counter per LFST entry.
+    Pair,
+}
+
+impl PredictorKind {
+    /// Whether store-load order violations are detected when the store
+    /// *commits* (the §2.1 timing change) rather than when it executes.
+    ///
+    /// The pair and aggressive predictors can miss a dependent load that
+    /// has not issued when the store executes, so detection must move to
+    /// commit; conventional and perfect schemes keep execute-time checks.
+    pub fn detects_at_commit(self) -> bool {
+        matches!(self, PredictorKind::Aggressive | PredictorKind::Pair)
+    }
+
+    /// Whether this predictor uses the realistic (aliasing) tables.
+    pub fn uses_real_tables(self) -> bool {
+        matches!(self, PredictorKind::None | PredictorKind::Perfect | PredictorKind::Pair)
+    }
+}
+
+/// How load-load ordering (same-address loads, §2.2) is enforced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LoadOrderPolicy {
+    /// Conventional: loads issue out of order and every executing load
+    /// searches the load queue (consumes an LQ search port).
+    #[default]
+    SearchLoadQueue,
+    /// Loads issue in program order (w.r.t. other loads) but still
+    /// fruitlessly search the load queue — the paper's
+    /// "in-order-always-search" strawman in Figure 9.
+    InOrderAlwaysSearch,
+    /// Loads issue in program order and skip the search — the paper's
+    /// "0-entry load buffer" point in Figure 9.
+    InOrderNoSearch,
+    /// The paper's load buffer of the given capacity: at most N loads may
+    /// be in flight issued out of order past an older unissued load;
+    /// further out-of-order loads stall until an entry frees. Executing
+    /// loads search the load buffer instead of the load queue.
+    LoadBuffer(usize),
+}
+
+impl LoadOrderPolicy {
+    /// Whether loads are forced to issue in program order among loads.
+    pub fn in_order(self) -> bool {
+        matches!(self, LoadOrderPolicy::InOrderAlwaysSearch | LoadOrderPolicy::InOrderNoSearch)
+    }
+
+    /// Whether an executing load consumes a load-queue search port.
+    pub fn searches_lq(self) -> bool {
+        matches!(self, LoadOrderPolicy::SearchLoadQueue | LoadOrderPolicy::InOrderAlwaysSearch)
+    }
+
+    /// Load-buffer capacity, if the load-buffer mechanism is active.
+    pub fn buffer_entries(self) -> Option<usize> {
+        match self {
+            LoadOrderPolicy::LoadBuffer(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+/// Segment allocation strategy (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegAlloc {
+    /// One logical circular queue laid linearly across segments;
+    /// allocation advances to the next segment even when the current one
+    /// has free entries. Spreads entries (higher aggregate bandwidth,
+    /// longer searches).
+    NoSelfCircular,
+    /// Each segment is its own circular buffer; allocation stays in the
+    /// current segment while it has free entries. Compacts entries
+    /// (shorter searches).
+    SelfCircular,
+}
+
+/// Segmentation of one queue (paper §3): `segments` smaller queues of
+/// `entries_per_segment` entries, searched as a pipeline — one segment per
+/// cycle, each segment having its own set of search ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegConfig {
+    /// Number of segments in the chain.
+    pub segments: usize,
+    /// Entries per segment.
+    pub entries_per_segment: usize,
+    /// Allocation strategy.
+    pub alloc: SegAlloc,
+}
+
+impl SegConfig {
+    /// The paper's evaluated design: four 28-entry segments (112 total).
+    pub fn paper(alloc: SegAlloc) -> Self {
+        Self { segments: 4, entries_per_segment: 28, alloc }
+    }
+
+    /// Total capacity across segments.
+    pub fn total_entries(&self) -> usize {
+        self.segments * self.entries_per_segment
+    }
+}
+
+/// A complete LSQ design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LsqConfig {
+    /// Load-queue capacity when unsegmented (paper base: 32).
+    pub lq_entries: usize,
+    /// Store-queue capacity when unsegmented (paper base: 32).
+    pub sq_entries: usize,
+    /// Search ports per queue (per segment when segmented). The paper's
+    /// base case is 2.
+    pub ports: usize,
+    /// Store-queue search filtering predictor.
+    pub predictor: PredictorKind,
+    /// Load-load ordering enforcement.
+    pub load_order: LoadOrderPolicy,
+    /// Segmentation, if any (applies to both queues).
+    pub segmentation: Option<SegConfig>,
+    /// SSIT size (paper: 4K entries).
+    pub ssit_entries: usize,
+    /// LFST size (paper: 128 entries).
+    pub lfst_entries: usize,
+    /// Saturation bound of the per-LFST-entry counter (3 bits → 7).
+    pub counter_max: u8,
+    /// Whether store-set issue gating is enabled (Table 1 includes the
+    /// predictor; disable only for ablation studies).
+    pub store_set_gating: bool,
+    /// Whether detected load-load ordering violations squash (the paper's
+    /// §2.2 scheme 1, as in Alpha). Off by default: the paper's
+    /// uniprocessor evaluation measures the *search bandwidth*; squashes
+    /// there require multiprocessor invalidations. Enable for the
+    /// supplementary coherence experiments.
+    pub load_load_squash: bool,
+}
+
+impl Default for LsqConfig {
+    /// The paper's base case: a conventional two-ported 32+32-entry LSQ
+    /// (all loads search the SQ; all loads search the LQ for load-load
+    /// ordering), with store-set issue gating.
+    fn default() -> Self {
+        Self {
+            lq_entries: 32,
+            sq_entries: 32,
+            ports: 2,
+            predictor: PredictorKind::None,
+            load_order: LoadOrderPolicy::SearchLoadQueue,
+            segmentation: None,
+            ssit_entries: 4096,
+            lfst_entries: 128,
+            counter_max: 7,
+            store_set_gating: true,
+            load_load_squash: false,
+        }
+    }
+}
+
+impl LsqConfig {
+    /// The conventional base case with a given number of ports.
+    pub fn conventional(ports: usize) -> Self {
+        Self { ports, ..Self::default() }
+    }
+
+    /// Both §2 bandwidth-reduction techniques on a queue with the given
+    /// ports: the pair predictor and a 2-entry load buffer (Figure 10).
+    pub fn with_techniques(ports: usize) -> Self {
+        Self {
+            ports,
+            predictor: PredictorKind::Pair,
+            load_order: LoadOrderPolicy::LoadBuffer(2),
+            ..Self::default()
+        }
+    }
+
+    /// Segmentation alone on the conventional queue (Figure 11).
+    pub fn segmented(alloc: SegAlloc) -> Self {
+        Self { segmentation: Some(SegConfig::paper(alloc)), ..Self::default() }
+    }
+
+    /// All three techniques on a one-ported queue (Figure 12): pair
+    /// predictor, 2-entry load buffer, self-circular 4 × 28 segmentation.
+    pub fn all_techniques_one_port() -> Self {
+        Self {
+            ports: 1,
+            predictor: PredictorKind::Pair,
+            load_order: LoadOrderPolicy::LoadBuffer(2),
+            segmentation: Some(SegConfig::paper(SegAlloc::SelfCircular)),
+            ..Self::default()
+        }
+    }
+
+    /// Effective load-queue capacity (accounting for segmentation).
+    pub fn lq_capacity(&self) -> usize {
+        self.segmentation.map_or(self.lq_entries, |s| s.total_entries())
+    }
+
+    /// Effective store-queue capacity (accounting for segmentation).
+    pub fn sq_capacity(&self) -> usize {
+        self.segmentation.map_or(self.sq_entries, |s| s.total_entries())
+    }
+
+    /// Number of segments (1 when unsegmented).
+    pub fn num_segments(&self) -> usize {
+        self.segmentation.map_or(1, |s| s.segments)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first inconsistent field
+    /// (zero capacities, zero ports, or empty predictor tables).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.lq_capacity() == 0 || self.sq_capacity() == 0 {
+            return Err(ConfigError::new("queue capacity must be non-zero"));
+        }
+        if self.ports == 0 {
+            return Err(ConfigError::new("search ports must be non-zero"));
+        }
+        if self.ssit_entries == 0 || !self.ssit_entries.is_power_of_two() {
+            return Err(ConfigError::new("SSIT entries must be a non-zero power of two"));
+        }
+        if self.lfst_entries == 0 {
+            return Err(ConfigError::new("LFST entries must be non-zero"));
+        }
+        if let Some(seg) = &self.segmentation {
+            if seg.segments == 0 || seg.entries_per_segment == 0 {
+                return Err(ConfigError::new("segments and entries per segment must be non-zero"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_base_case() {
+        let c = LsqConfig::default();
+        assert_eq!(c.lq_entries, 32);
+        assert_eq!(c.sq_entries, 32);
+        assert_eq!(c.ports, 2);
+        assert_eq!(c.predictor, PredictorKind::None);
+        assert_eq!(c.load_order, LoadOrderPolicy::SearchLoadQueue);
+        assert!(c.segmentation.is_none());
+        assert_eq!(c.ssit_entries, 4096);
+        assert_eq!(c.lfst_entries, 128);
+        assert_eq!(c.counter_max, 7);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn detection_timing_by_predictor() {
+        assert!(!PredictorKind::None.detects_at_commit());
+        assert!(!PredictorKind::Perfect.detects_at_commit());
+        assert!(PredictorKind::Aggressive.detects_at_commit());
+        assert!(PredictorKind::Pair.detects_at_commit());
+        assert!(!PredictorKind::Aggressive.uses_real_tables());
+        assert!(PredictorKind::Pair.uses_real_tables());
+    }
+
+    #[test]
+    fn load_order_policy_properties() {
+        assert!(LoadOrderPolicy::SearchLoadQueue.searches_lq());
+        assert!(!LoadOrderPolicy::SearchLoadQueue.in_order());
+        assert!(LoadOrderPolicy::InOrderAlwaysSearch.searches_lq());
+        assert!(LoadOrderPolicy::InOrderAlwaysSearch.in_order());
+        assert!(!LoadOrderPolicy::InOrderNoSearch.searches_lq());
+        assert!(LoadOrderPolicy::InOrderNoSearch.in_order());
+        let lb = LoadOrderPolicy::LoadBuffer(2);
+        assert!(!lb.searches_lq());
+        assert!(!lb.in_order());
+        assert_eq!(lb.buffer_entries(), Some(2));
+        assert_eq!(LoadOrderPolicy::SearchLoadQueue.buffer_entries(), None);
+    }
+
+    #[test]
+    fn paper_segmentation_is_4x28() {
+        let s = SegConfig::paper(SegAlloc::SelfCircular);
+        assert_eq!(s.segments, 4);
+        assert_eq!(s.entries_per_segment, 28);
+        assert_eq!(s.total_entries(), 112);
+    }
+
+    #[test]
+    fn capacity_accounts_for_segmentation() {
+        let c = LsqConfig::segmented(SegAlloc::SelfCircular);
+        assert_eq!(c.lq_capacity(), 112);
+        assert_eq!(c.sq_capacity(), 112);
+        assert_eq!(c.num_segments(), 4);
+        let base = LsqConfig::default();
+        assert_eq!(base.lq_capacity(), 32);
+        assert_eq!(base.num_segments(), 1);
+    }
+
+    #[test]
+    fn named_design_points() {
+        let t = LsqConfig::with_techniques(1);
+        assert_eq!(t.ports, 1);
+        assert_eq!(t.predictor, PredictorKind::Pair);
+        assert_eq!(t.load_order, LoadOrderPolicy::LoadBuffer(2));
+        let all = LsqConfig::all_techniques_one_port();
+        assert_eq!(all.ports, 1);
+        assert_eq!(all.segmentation.unwrap().alloc, SegAlloc::SelfCircular);
+        assert!(all.validate().is_ok());
+    }
+
+    #[test]
+    fn config_error_is_a_real_error_type() {
+        let e = LsqConfig { ports: 0, ..LsqConfig::default() }.validate().unwrap_err();
+        let msg = format!("{e}");
+        assert!(msg.contains("invalid configuration"));
+        assert!(msg.contains("ports"));
+        // Usable with dyn Error consumers.
+        let boxed: Box<dyn std::error::Error> = Box::new(e);
+        assert!(!boxed.to_string().is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let mut c = LsqConfig::default();
+        c.ports = 0;
+        assert!(c.validate().is_err());
+        let mut c = LsqConfig::default();
+        c.lq_entries = 0;
+        assert!(c.validate().is_err());
+        let mut c = LsqConfig::default();
+        c.ssit_entries = 1000; // not a power of two
+        assert!(c.validate().is_err());
+        let mut c = LsqConfig::segmented(SegAlloc::SelfCircular);
+        c.segmentation = Some(SegConfig { segments: 0, entries_per_segment: 28, alloc: SegAlloc::SelfCircular });
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,407 @@
+//! The store-set predictor (Chrysos & Emer, ISCA '98) extended into the
+//! paper's **store-load pair predictor** (§2.1).
+//!
+//! Both predictors share the same two physical tables (§2.1.2):
+//!
+//! * **SSIT** (Store Set ID Table): PC-indexed, maps a static load or
+//!   store to its store-set identifier (SSID).
+//! * **LFST** (Last Fetched Store Table): SSID-indexed, tracks the most
+//!   recently fetched store of the set. Each entry holds the store-set
+//!   **valid bit** (set at store fetch, cleared at store issue — the
+//!   issue-gating semantics) *and* the pair predictor's **multi-bit
+//!   counter** (incremented at store fetch, decremented at store commit
+//!   or squash — the search-filtering semantics).
+//!
+//! A load consults the SSIT/LFST at fetch; at issue it (a) waits while the
+//! valid bit points at an older unissued store of its set, and (b) under
+//! the pair predictor, searches the store queue only while the counter is
+//! non-zero.
+//!
+//! The *aggressive* variant of Figures 6–7 is emulated here with
+//! alias-free tables (hash maps keyed by full PC / unbounded SSIDs), so
+//! store sets never conflict.
+
+use lsq_isa::Pc;
+use std::collections::HashMap;
+
+/// A store-set identifier.
+pub type Ssid = u32;
+
+/// What the predictor tells a fetched load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoadPrediction {
+    /// The load's store set, if it has one.
+    pub ssid: Option<Ssid>,
+    /// The most recently fetched (still in-flight) store of that set at
+    /// load-fetch time, for issue gating. `None` when the set's valid bit
+    /// is clear.
+    pub wait_store: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LfstEntry {
+    /// Store-set semantics: a store of this set is in flight and unissued.
+    valid: bool,
+    /// Sequence number of the most recently fetched store of this set.
+    last_store: u64,
+    /// Pair-predictor semantics: number of in-flight (fetched, not yet
+    /// committed) stores of this set, saturating.
+    counter: u8,
+}
+
+/// The combined store-set / store-load pair predictor state.
+#[derive(Debug, Clone)]
+pub struct StoreSetPredictor {
+    /// Realistic SSIT: `ssit_entries` slots indexed by folded PC.
+    ssit: Vec<Option<Ssid>>,
+    /// Realistic LFST: `lfst_entries` slots indexed by `ssid % len`.
+    lfst: Vec<LfstEntry>,
+    /// Alias-free SSIT (aggressive variant): full PC → SSID.
+    ideal_ssit: HashMap<u64, Ssid>,
+    /// Alias-free LFST (aggressive variant): unbounded SSIDs.
+    ideal_lfst: HashMap<Ssid, LfstEntry>,
+    /// Next SSID for alias-free allocation.
+    next_ideal_ssid: Ssid,
+    /// Whether the alias-free tables are in use.
+    alias_free: bool,
+    ssit_bits: u32,
+    counter_max: u8,
+}
+
+impl StoreSetPredictor {
+    /// Builds a predictor with the given table sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ssit_entries` is not a non-zero power of two or
+    /// `lfst_entries` is zero.
+    pub fn new(ssit_entries: usize, lfst_entries: usize, counter_max: u8, alias_free: bool) -> Self {
+        assert!(
+            ssit_entries.is_power_of_two() && ssit_entries > 0,
+            "SSIT entries must be a power of two"
+        );
+        assert!(lfst_entries > 0, "LFST entries must be non-zero");
+        Self {
+            ssit: vec![None; ssit_entries],
+            lfst: vec![LfstEntry::default(); lfst_entries],
+            ideal_ssit: HashMap::new(),
+            ideal_lfst: HashMap::new(),
+            next_ideal_ssid: 0,
+            alias_free,
+            ssit_bits: ssit_entries.trailing_zeros(),
+            counter_max,
+        }
+    }
+
+    /// The paper's configuration: 4K-entry SSIT, 128-entry LFST, 3-bit
+    /// counter, realistic (aliasing) tables.
+    pub fn paper() -> Self {
+        Self::new(4096, 128, 7, false)
+    }
+
+    fn ssid_of(&self, pc: Pc) -> Option<Ssid> {
+        if self.alias_free {
+            self.ideal_ssit.get(&pc.0).copied()
+        } else {
+            self.ssit[pc.index(self.ssit_bits)]
+        }
+    }
+
+    fn set_ssid(&mut self, pc: Pc, ssid: Ssid) {
+        if self.alias_free {
+            self.ideal_ssit.insert(pc.0, ssid);
+        } else {
+            let idx = pc.index(self.ssit_bits);
+            self.ssit[idx] = Some(ssid);
+        }
+    }
+
+    fn lfst_mut(&mut self, ssid: Ssid) -> &mut LfstEntry {
+        if self.alias_free {
+            self.ideal_lfst.entry(ssid).or_default()
+        } else {
+            let len = self.lfst.len();
+            &mut self.lfst[ssid as usize % len]
+        }
+    }
+
+    fn lfst(&self, ssid: Ssid) -> LfstEntry {
+        if self.alias_free {
+            self.ideal_lfst.get(&ssid).copied().unwrap_or_default()
+        } else {
+            self.lfst[ssid as usize % self.lfst.len()]
+        }
+    }
+
+    /// Called when a store is fetched: if the store belongs to a set,
+    /// records it as the set's last-fetched store, sets the valid bit, and
+    /// increments the pair counter (saturating at `counter_max`). Returns
+    /// the store's SSID, which the caller keeps in the store-queue entry
+    /// for issue/commit/squash bookkeeping.
+    pub fn on_store_fetch(&mut self, pc: Pc, seq: u64) -> Option<Ssid> {
+        let ssid = self.ssid_of(pc)?;
+        let max = self.counter_max;
+        let e = self.lfst_mut(ssid);
+        e.valid = true;
+        e.last_store = seq;
+        if e.counter < max {
+            e.counter += 1;
+        }
+        Some(ssid)
+    }
+
+    /// Called when a load is fetched: reports the load's set and the store
+    /// it must wait for (store-set issue gating).
+    pub fn on_load_fetch(&mut self, pc: Pc) -> LoadPrediction {
+        match self.ssid_of(pc) {
+            None => LoadPrediction::default(),
+            Some(ssid) => {
+                let e = self.lfst(ssid);
+                LoadPrediction { ssid: Some(ssid), wait_store: e.valid.then_some(e.last_store) }
+            }
+        }
+    }
+
+    /// Whether a load of set `ssid` must search the store queue right now
+    /// (pair-predictor counter non-zero). Loads with no set never search
+    /// under the pair predictor.
+    pub fn must_search(&self, ssid: Option<Ssid>) -> bool {
+        ssid.is_some_and(|s| self.lfst(s).counter > 0)
+    }
+
+    /// Called when a store issues: clears the valid bit if this store is
+    /// still the set's last-fetched store (no younger store of the set has
+    /// been fetched since).
+    pub fn on_store_issue(&mut self, ssid: Ssid, seq: u64) {
+        let e = self.lfst_mut(ssid);
+        if e.valid && e.last_store == seq {
+            e.valid = false;
+        }
+    }
+
+    /// Called when a store commits: decrements the pair counter.
+    pub fn on_store_commit(&mut self, ssid: Ssid) {
+        let e = self.lfst_mut(ssid);
+        e.counter = e.counter.saturating_sub(1);
+    }
+
+    /// Called when an in-flight store is squashed: rolls the counter back
+    /// (§2.1.2 — the SSIT/LFST themselves are not rolled back, but
+    /// squashed stores must undo their counter increment). Also clears the
+    /// valid bit when the squashed store was the set's last-fetched store,
+    /// so later loads are not gated on a store that will never issue.
+    pub fn on_store_squash(&mut self, ssid: Ssid, seq: u64) {
+        let e = self.lfst_mut(ssid);
+        e.counter = e.counter.saturating_sub(1);
+        if e.valid && e.last_store == seq {
+            e.valid = false;
+        }
+    }
+
+    /// Trains on a detected store-load order violation (or, for the pair
+    /// predictor, on any detected matching pair): the load and store are
+    /// placed in the same store set using the Chrysos-Emer merge rules.
+    pub fn train_pair(&mut self, load_pc: Pc, store_pc: Pc) {
+        match (self.ssid_of(load_pc), self.ssid_of(store_pc)) {
+            (None, None) => {
+                let ssid = self.allocate_ssid(store_pc);
+                self.set_ssid(load_pc, ssid);
+                self.set_ssid(store_pc, ssid);
+            }
+            (Some(l), None) => self.set_ssid(store_pc, l),
+            (None, Some(s)) => self.set_ssid(load_pc, s),
+            (Some(l), Some(s)) => {
+                // Merge: both adopt the smaller SSID.
+                let win = l.min(s);
+                self.set_ssid(load_pc, win);
+                self.set_ssid(store_pc, win);
+            }
+        }
+    }
+
+    fn allocate_ssid(&mut self, store_pc: Pc) -> Ssid {
+        if self.alias_free {
+            let ssid = self.next_ideal_ssid;
+            self.next_ideal_ssid += 1;
+            ssid
+        } else {
+            // Derive the SSID from the store PC so allocation is stateless,
+            // as in hardware; collisions in the LFST are part of the
+            // realistic predictor's aliasing.
+            (store_pc.index(self.lfst_len_bits()) as Ssid) % self.lfst.len() as Ssid
+        }
+    }
+
+    fn lfst_len_bits(&self) -> u32 {
+        // Round up to cover the LFST index space.
+        usize::BITS - (self.lfst.len() - 1).leading_zeros()
+    }
+
+    /// Read-only view of a set's pair counter (diagnostics and tests).
+    pub fn counter(&self, ssid: Ssid) -> u8 {
+        self.lfst(ssid).counter
+    }
+
+    /// Read-only view of a set's valid bit (diagnostics and tests).
+    pub fn valid(&self, ssid: Ssid) -> bool {
+        self.lfst(ssid).valid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOAD_PC: Pc = Pc(0x1000);
+    const STORE_PC: Pc = Pc(0x2000);
+
+    fn trained() -> StoreSetPredictor {
+        let mut p = StoreSetPredictor::paper();
+        p.train_pair(LOAD_PC, STORE_PC);
+        p
+    }
+
+    #[test]
+    fn untrained_predicts_nothing() {
+        let mut p = StoreSetPredictor::paper();
+        let pred = p.on_load_fetch(LOAD_PC);
+        assert_eq!(pred, LoadPrediction::default());
+        assert!(!p.must_search(pred.ssid));
+        assert_eq!(p.on_store_fetch(STORE_PC, 1), None);
+    }
+
+    #[test]
+    fn training_links_load_and_store() {
+        let mut p = trained();
+        let ssid = p.on_store_fetch(STORE_PC, 7).expect("store has a set");
+        let pred = p.on_load_fetch(LOAD_PC);
+        assert_eq!(pred.ssid, Some(ssid));
+        assert_eq!(pred.wait_store, Some(7));
+        assert!(p.must_search(pred.ssid));
+    }
+
+    #[test]
+    fn valid_bit_clears_at_issue_but_counter_persists_to_commit() {
+        let mut p = trained();
+        let ssid = p.on_store_fetch(STORE_PC, 7).unwrap();
+        p.on_store_issue(ssid, 7);
+        let pred = p.on_load_fetch(LOAD_PC);
+        assert_eq!(pred.wait_store, None, "valid bit cleared at issue");
+        assert!(p.must_search(pred.ssid), "counter still non-zero until commit");
+        p.on_store_commit(ssid);
+        assert!(!p.must_search(pred.ssid));
+    }
+
+    #[test]
+    fn counter_tracks_multiple_inflight_instances() {
+        // The §2.1.1 motivation: two in-flight instances of the same static
+        // store; a single valid bit would free waiting loads after the
+        // first commits, but the counter keeps them searching.
+        let mut p = trained();
+        let ssid = p.on_store_fetch(STORE_PC, 1).unwrap();
+        p.on_store_fetch(STORE_PC, 2).unwrap();
+        assert_eq!(p.counter(ssid), 2);
+        p.on_store_commit(ssid);
+        assert!(p.must_search(Some(ssid)), "second instance still in flight");
+        p.on_store_commit(ssid);
+        assert!(!p.must_search(Some(ssid)));
+    }
+
+    #[test]
+    fn counter_saturates_and_never_underflows() {
+        let mut p = trained();
+        let mut ssid = 0;
+        for i in 0..20 {
+            ssid = p.on_store_fetch(STORE_PC, i).unwrap();
+        }
+        assert_eq!(p.counter(ssid), 7, "3-bit counter saturates at 7");
+        for _ in 0..30 {
+            p.on_store_commit(ssid);
+        }
+        assert_eq!(p.counter(ssid), 0);
+    }
+
+    #[test]
+    fn squash_rolls_back_counter_and_valid() {
+        let mut p = trained();
+        let ssid = p.on_store_fetch(STORE_PC, 9).unwrap();
+        assert!(p.valid(ssid));
+        p.on_store_squash(ssid, 9);
+        assert_eq!(p.counter(ssid), 0);
+        assert!(!p.valid(ssid), "squashed last-fetched store must not gate loads");
+    }
+
+    #[test]
+    fn squash_of_older_store_keeps_valid_for_younger() {
+        let mut p = trained();
+        p.on_store_fetch(STORE_PC, 1).unwrap();
+        let ssid = p.on_store_fetch(STORE_PC, 2).unwrap();
+        p.on_store_squash(ssid, 1); // older instance squashed
+        assert!(p.valid(ssid), "younger instance is still the last-fetched store");
+        assert_eq!(p.counter(ssid), 1);
+    }
+
+    #[test]
+    fn issue_of_stale_store_does_not_clear_valid() {
+        let mut p = trained();
+        p.on_store_fetch(STORE_PC, 1).unwrap();
+        let ssid = p.on_store_fetch(STORE_PC, 2).unwrap();
+        p.on_store_issue(ssid, 1); // older instance issues
+        assert!(p.valid(ssid), "set still has the younger unissued store");
+        p.on_store_issue(ssid, 2);
+        assert!(!p.valid(ssid));
+    }
+
+    #[test]
+    fn merge_adopts_smaller_ssid() {
+        let mut p = StoreSetPredictor::new(4096, 128, 7, true);
+        p.train_pair(Pc(0x10), Pc(0x20)); // ssid 0
+        p.train_pair(Pc(0x30), Pc(0x40)); // ssid 1
+        // Cross-link: load 0x10 (set 0) violates with store 0x40 (set 1).
+        p.train_pair(Pc(0x10), Pc(0x40));
+        let s_load = p.on_load_fetch(Pc(0x10)).ssid.unwrap();
+        p.on_store_fetch(Pc(0x40), 5).unwrap();
+        let s_store = p.ssid_of(Pc(0x40)).unwrap();
+        assert_eq!(s_load, s_store);
+        assert_eq!(s_load, 0, "merge keeps the smaller SSID");
+    }
+
+    #[test]
+    fn training_one_sided_joins_existing_set() {
+        let mut p = StoreSetPredictor::new(4096, 128, 7, true);
+        p.train_pair(LOAD_PC, STORE_PC);
+        // A second store joins the load's existing set.
+        p.train_pair(LOAD_PC, Pc(0x3000));
+        let a = p.ssid_of(STORE_PC).unwrap();
+        let b = p.ssid_of(Pc(0x3000)).unwrap();
+        assert_eq!(a, b);
+        // A second load joins the store's existing set.
+        p.train_pair(Pc(0x1100), STORE_PC);
+        assert_eq!(p.ssid_of(Pc(0x1100)).unwrap(), a);
+    }
+
+    #[test]
+    fn realistic_tables_alias_but_ideal_do_not() {
+        let mut real = StoreSetPredictor::new(16, 4, 7, false);
+        let mut ideal = StoreSetPredictor::new(16, 4, 7, true);
+        // Two unrelated pairs whose PCs collide in a 16-entry SSIT
+        // (indices differ by a multiple of 16 words = 64 bytes).
+        let (l1, s1) = (Pc(0x0), Pc(0x4));
+        let (l2, s2) = (Pc(0x40), Pc(0x44));
+        for p in [&mut real, &mut ideal] {
+            p.train_pair(l1, s1);
+        }
+        // In the realistic predictor, l2 aliases l1's SSIT entry.
+        let real_pred = real.on_load_fetch(l2);
+        let ideal_pred = ideal.on_load_fetch(l2);
+        assert!(real_pred.ssid.is_some(), "aliasing gives l2 a spurious set");
+        assert!(ideal_pred.ssid.is_none(), "alias-free tables do not");
+        let _ = (s2, l2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_ssit_size_panics() {
+        let _ = StoreSetPredictor::new(1000, 128, 7, false);
+    }
+}

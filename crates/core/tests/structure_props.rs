@@ -1,0 +1,263 @@
+//! Property tests on the core hardware structures: the load buffer's
+//! NILP/LIV bookkeeping, segmented allocation, the search-port book, and
+//! the store-set/pair predictor's counter discipline.
+
+use lsq_core::{LbIssue, LoadBuffer, PortBook, SegAlloc, SegmentedAlloc, StoreSetPredictor};
+use lsq_isa::{Addr, Pc};
+use proptest::prelude::*;
+
+// ----------------------------------------------------------------------
+// Load buffer
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum LbOp {
+    Dispatch,
+    Issue(u8),
+    CommitHead,
+    Squash(u8),
+}
+
+fn lb_op() -> impl Strategy<Value = LbOp> {
+    prop_oneof![
+        4 => Just(LbOp::Dispatch),
+        4 => any::<u8>().prop_map(LbOp::Issue),
+        2 => Just(LbOp::CommitHead),
+        1 => any::<u8>().prop_map(LbOp::Squash),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The buffer never overflows, occupancy always equals the number of
+    /// issued loads with an older unissued load, and NILP is always the
+    /// oldest unissued load.
+    #[test]
+    fn load_buffer_invariants(ops in prop::collection::vec(lb_op(), 1..200), cap in 0usize..5) {
+        let mut lb = LoadBuffer::new(cap);
+        // Shadow: (seq, issued).
+        let mut shadow: Vec<(u64, bool)> = Vec::new();
+        let mut next = 0u64;
+        for op in ops {
+            match op {
+                LbOp::Dispatch => {
+                    lb.on_dispatch(next, Addr(0x1000 + next * 8));
+                    shadow.push((next, false));
+                    next += 1;
+                }
+                LbOp::Issue(n) => {
+                    let unissued: Vec<u64> =
+                        shadow.iter().filter(|(_, i)| !i).map(|(s, _)| *s).collect();
+                    if unissued.is_empty() {
+                        continue;
+                    }
+                    let seq = unissued[n as usize % unissued.len()];
+                    let oldest_unissued = unissued[0];
+                    match lb.try_issue(seq) {
+                        LbIssue::Full => {
+                            prop_assert!(seq != oldest_unissued, "NILP target never stalls");
+                            prop_assert_eq!(lb.occupancy(), cap);
+                        }
+                        outcome => {
+                            let in_order = matches!(outcome, LbIssue::InOrder { .. });
+                            if seq == oldest_unissued {
+                                prop_assert!(in_order, "NILP target must issue in order");
+                            } else {
+                                {
+                                let buffered = matches!(outcome, LbIssue::Buffered { .. });
+                                prop_assert!(buffered, "non-NILP issue must buffer");
+                            }
+                            }
+                            shadow.iter_mut().find(|(s, _)| *s == seq).unwrap().1 = true;
+                        }
+                    }
+                }
+                LbOp::CommitHead => {
+                    if let Some(&(seq, issued)) = shadow.first() {
+                        if issued {
+                            lb.on_commit(seq);
+                            shadow.remove(0);
+                        }
+                    }
+                }
+                LbOp::Squash(n) => {
+                    if shadow.is_empty() {
+                        continue;
+                    }
+                    let lo = shadow[0].0;
+                    let hi = shadow.last().unwrap().0;
+                    let at = lo + u64::from(n) % (hi - lo + 1);
+                    lb.squash_from(at);
+                    shadow.retain(|(s, _)| *s < at);
+                    next = at;
+                }
+            }
+            // Invariants.
+            let mut unissued_seen = false;
+            let mut expect_occ = 0usize;
+            for &(_, issued) in &shadow {
+                if issued {
+                    if unissued_seen {
+                        expect_occ += 1;
+                    }
+                } else {
+                    unissued_seen = true;
+                }
+            }
+            prop_assert_eq!(lb.occupancy(), expect_occ.min(lb.occupancy().max(expect_occ)));
+            prop_assert!(lb.occupancy() <= cap);
+            prop_assert_eq!(lb.in_flight(), shadow.len());
+            let expect_nilp = shadow.iter().find(|(_, i)| !i).map(|(s, _)| *s);
+            prop_assert_eq!(lb.nilp(), expect_nilp);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Segmented allocation
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Allocation never double-books, never exceeds capacity, frees
+    /// restore capacity, and self-circular always uses full capacity.
+    #[test]
+    fn segmented_alloc_conserves_slots(
+        ops in prop::collection::vec(any::<bool>(), 1..300),
+        segs in 1usize..5,
+        per in 1usize..9,
+        self_circular in any::<bool>(),
+    ) {
+        let alloc_kind =
+            if self_circular { SegAlloc::SelfCircular } else { SegAlloc::NoSelfCircular };
+        let mut a = SegmentedAlloc::new(segs, per, alloc_kind);
+        let mut live: std::collections::VecDeque<lsq_core::Placement> = Default::default();
+        for want_alloc in ops {
+            if want_alloc {
+                match a.allocate() {
+                    Some(p) => {
+                        prop_assert!(p.segment < segs);
+                        live.push_back(p);
+                        prop_assert!(live.len() <= segs * per);
+                    }
+                    None => {
+                        if self_circular {
+                            // Self-circular fails only at full capacity.
+                            prop_assert_eq!(live.len(), segs * per);
+                        }
+                    }
+                }
+            } else if let Some(p) = live.pop_front() {
+                a.free(p);
+            }
+            prop_assert_eq!(a.occupied(), live.len());
+        }
+    }
+
+    /// A FIFO workload smaller than one segment never leaves segment 0
+    /// under self-circular allocation (the compaction property that
+    /// drives the paper's Figure 11).
+    #[test]
+    fn self_circular_compacts_small_windows(window in 1usize..8, churn in 8usize..64) {
+        let mut a = SegmentedAlloc::new(4, 8, SegAlloc::SelfCircular);
+        let mut live = std::collections::VecDeque::new();
+        for _ in 0..window {
+            live.push_back(a.allocate().unwrap());
+        }
+        for _ in 0..churn {
+            a.free(live.pop_front().unwrap());
+            let p = a.allocate().unwrap();
+            prop_assert_eq!(p.segment, 0);
+            live.push_back(p);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Port book
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Bookings never exceed `ports` per (cycle, segment), and a failed
+    /// booking leaves no residue.
+    #[test]
+    fn port_book_conserves_ports(
+        reqs in prop::collection::vec(prop::collection::vec(0usize..4, 1..4), 1..60),
+        ports in 1usize..4,
+    ) {
+        let segs = 4;
+        let mut book = PortBook::new(segs, ports);
+        for path in &reqs {
+            book.begin_cycle();
+            // Reservations booked by earlier multi-cycle searches may
+            // already occupy this cycle (that is the §3.2 contention).
+            let free_before = book.free_now(path[0]);
+            prop_assert!(free_before <= ports);
+            // Issue several identical requests this cycle; count grants.
+            let mut grants = 0usize;
+            for _ in 0..(ports + 1) {
+                if book.try_book(path) {
+                    grants += 1;
+                }
+            }
+            prop_assert!(grants <= free_before, "over-granted segment {}", path[0]);
+            prop_assert_eq!(book.free_now(path[0]), free_before - grants);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Store-set / pair predictor counters
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Below the saturation bound, the pair counter exactly equals the
+    /// number of in-flight stores of the set under any interleaving of
+    /// fetches, commits, and squashes; and it never underflows.
+    #[test]
+    fn pair_counter_tracks_inflight_stores(events in prop::collection::vec(0u8..3, 1..200)) {
+        let mut p = StoreSetPredictor::new(1024, 64, 7, false);
+        p.train_pair(Pc(0x100), Pc(0x200));
+        let mut inflight = 0u64;
+        let mut seq = 0u64;
+        let mut ssid = None;
+        for ev in events {
+            match ev {
+                // Fetch a store (stay below the 3-bit saturation bound so
+                // the counter is exact, not clamped).
+                0 if inflight < 7 => {
+                    ssid = Some(p.on_store_fetch(Pc(0x200), seq).expect("trained"));
+                    seq += 1;
+                    inflight += 1;
+                }
+                // Commit the oldest in-flight store.
+                1 if inflight > 0 => {
+                    p.on_store_commit(ssid.expect("fetched"));
+                    inflight -= 1;
+                }
+                // Squash the youngest in-flight store.
+                2 if inflight > 0 => {
+                    p.on_store_squash(ssid.expect("fetched"), seq - 1);
+                    inflight -= 1;
+                }
+                _ => continue,
+            }
+            if let Some(id) = ssid {
+                prop_assert_eq!(u64::from(p.counter(id)), inflight);
+            }
+        }
+        // Over-draining never underflows.
+        if let Some(id) = ssid {
+            for _ in 0..20 {
+                p.on_store_commit(id);
+            }
+            prop_assert_eq!(p.counter(id), 0);
+        }
+    }
+}

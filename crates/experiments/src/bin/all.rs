@@ -1,0 +1,21 @@
+//! Runs every reproduced table and figure in paper order.
+//!
+//! Set `LSQ_EXPERIMENTS_OUT=<path>` to also write the output to a file
+//! (used to refresh the measured sections of EXPERIMENTS.md).
+
+use std::io::Write;
+
+fn main() {
+    let artifacts = lsq_experiments::all(lsq_experiments::RunSpec::default());
+    let mut out = String::new();
+    for a in &artifacts {
+        out.push_str(&a.to_string());
+        out.push('\n');
+    }
+    print!("{out}");
+    if let Ok(path) = std::env::var("LSQ_EXPERIMENTS_OUT") {
+        let mut f = std::fs::File::create(&path).expect("create output file");
+        f.write_all(out.as_bytes()).expect("write output file");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,5 @@
+//! Reproduces the paper's fig8; see `lsq_experiments::experiments`.
+
+fn main() {
+    println!("{}", lsq_experiments::experiments::fig8(lsq_experiments::RunSpec::default()));
+}

@@ -1,0 +1,197 @@
+//! `sim` — run any benchmark through any LSQ design point from the
+//! command line.
+//!
+//! ```text
+//! cargo run --release -p lsq-experiments --bin sim -- \
+//!     --bench equake --ports 1 --predictor pair --load-buffer 2 \
+//!     --segmented self-circular --instrs 250000
+//! ```
+//!
+//! Flags (all optional except `--bench`):
+//!
+//! * `--bench <name>`          one of the 18 Table 2 benchmarks (or `all`)
+//! * `--ports <n>`             search ports per queue (default 2)
+//! * `--predictor <kind>`      `none` | `perfect` | `aggressive` | `pair`
+//! * `--load-buffer <n>`       n-entry load buffer (replaces LQ searches)
+//! * `--in-order [search]`     in-order load issue (optionally still searching)
+//! * `--segmented <alloc>`     `self-circular` | `no-self-circular` (4 x 28)
+//! * `--lq <n> --sq <n>`       unsegmented queue capacities (default 32)
+//! * `--scaled`                the §4.3 12-wide scaled processor
+//! * `--instrs <n>`            measured instructions (default 250000)
+//! * `--warmup <n>`            warm-up instructions (default 100000)
+//! * `--seed <n>`              dynamic workload seed (default 1)
+//! * `--csv`                   machine-readable one-line-per-benchmark output
+
+use lsq_core::{LoadOrderPolicy, LsqConfig, PredictorKind, SegAlloc};
+use lsq_experiments::runner::{run_design_point, RunSpec};
+use lsq_pipeline::SimResult;
+use lsq_trace::BenchProfile;
+
+#[derive(Debug)]
+struct Args {
+    bench: String,
+    lsq: LsqConfig,
+    scaled: bool,
+    spec: RunSpec,
+    csv: bool,
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\nsee the module docs: cargo doc -p lsq-experiments --bin sim");
+    eprintln!("benchmarks:");
+    for p in BenchProfile::all() {
+        eprint!(" {}", p.name);
+    }
+    eprintln!();
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut bench = None;
+    let mut lsq = LsqConfig::default();
+    let mut scaled = false;
+    let mut spec = RunSpec::default();
+    let mut csv = false;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let mut next = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i - 1).cloned().unwrap_or_else(|| usage("missing flag value"))
+    };
+    while i < argv.len() {
+        let flag = argv[i].clone();
+        i += 1;
+        match flag.as_str() {
+            "--bench" => bench = Some(next(&mut i)),
+            "--ports" => {
+                lsq.ports = next(&mut i).parse().unwrap_or_else(|_| usage("--ports wants a number"))
+            }
+            "--predictor" => {
+                lsq.predictor = match next(&mut i).as_str() {
+                    "none" => PredictorKind::None,
+                    "perfect" => PredictorKind::Perfect,
+                    "aggressive" => PredictorKind::Aggressive,
+                    "pair" => PredictorKind::Pair,
+                    other => usage(&format!("unknown predictor {other}")),
+                }
+            }
+            "--load-buffer" => {
+                let n = next(&mut i).parse().unwrap_or_else(|_| usage("--load-buffer wants a number"));
+                lsq.load_order = LoadOrderPolicy::LoadBuffer(n);
+            }
+            "--in-order" => {
+                // Optional positional modifier: `search` keeps the search.
+                if argv.get(i).map(String::as_str) == Some("search") {
+                    i += 1;
+                    lsq.load_order = LoadOrderPolicy::InOrderAlwaysSearch;
+                } else {
+                    lsq.load_order = LoadOrderPolicy::InOrderNoSearch;
+                }
+            }
+            "--segmented" => {
+                lsq.segmentation = Some(lsq_core::SegConfig::paper(match next(&mut i).as_str() {
+                    "self-circular" => SegAlloc::SelfCircular,
+                    "no-self-circular" => SegAlloc::NoSelfCircular,
+                    other => usage(&format!("unknown allocation {other}")),
+                }))
+            }
+            "--lq" => {
+                lsq.lq_entries = next(&mut i).parse().unwrap_or_else(|_| usage("--lq wants a number"))
+            }
+            "--sq" => {
+                lsq.sq_entries = next(&mut i).parse().unwrap_or_else(|_| usage("--sq wants a number"))
+            }
+            "--scaled" => scaled = true,
+            "--instrs" => {
+                spec.instrs = next(&mut i).parse().unwrap_or_else(|_| usage("--instrs wants a number"))
+            }
+            "--warmup" => {
+                spec.warmup = next(&mut i).parse().unwrap_or_else(|_| usage("--warmup wants a number"))
+            }
+            "--seed" => {
+                spec.seed = next(&mut i).parse().unwrap_or_else(|_| usage("--seed wants a number"))
+            }
+            "--csv" => csv = true,
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    let bench = bench.unwrap_or_else(|| usage("--bench is required (or `--bench all`)"));
+    if bench != "all" && BenchProfile::named(&bench).is_none() {
+        usage(&format!("unknown benchmark {bench}"));
+    }
+    if let Err(e) = lsq.validate() {
+        usage(&e.to_string());
+    }
+    Args { bench, lsq, scaled, spec, csv }
+}
+
+fn print_human(bench: &str, r: &SimResult) {
+    println!("== {bench} ==");
+    println!("  IPC                 {:.3}  ({} instrs, {} cycles)", r.ipc(), r.committed, r.cycles);
+    println!("  branch mispredict   {:.2}%", r.branch_mispredict_rate() * 100.0);
+    println!("  L1D miss            {:.2}%", r.l1d_miss_rate * 100.0);
+    println!(
+        "  SQ searches         {} ({} forwarded)",
+        r.lsq.sq_searches, r.lsq.sq_search_hits
+    );
+    println!(
+        "  LQ searches         {} by stores + {} by loads (+{} load-buffer)",
+        r.lsq.lq_searches_by_stores, r.lsq.lq_searches_by_loads, r.lsq.lb_searches
+    );
+    println!(
+        "  violations/squashes {} store-load, {} at commit",
+        r.lsq.violations, r.lsq.commit_violations
+    );
+    println!(
+        "  occupancy           LQ {:.1} / SQ {:.1}; OoO-issued loads {:.1}",
+        r.lq_occupancy, r.sq_occupancy, r.ooo_issued_loads
+    );
+}
+
+fn print_csv_header() {
+    println!(
+        "bench,ipc,cycles,committed,br_mispredict,l1d_miss,sq_searches,sq_hits,\
+         lq_by_stores,lq_by_loads,lb_searches,violations,lq_occ,sq_occ,ooo_loads"
+    );
+}
+
+fn print_csv(bench: &str, r: &SimResult) {
+    println!(
+        "{bench},{:.4},{},{},{:.4},{:.4},{},{},{},{},{},{},{:.2},{:.2},{:.2}",
+        r.ipc(),
+        r.cycles,
+        r.committed,
+        r.branch_mispredict_rate(),
+        r.l1d_miss_rate,
+        r.lsq.sq_searches,
+        r.lsq.sq_search_hits,
+        r.lsq.lq_searches_by_stores,
+        r.lsq.lq_searches_by_loads,
+        r.lsq.lb_searches,
+        r.lsq.violations,
+        r.lq_occupancy,
+        r.sq_occupancy,
+        r.ooo_issued_loads
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    let benches: Vec<&str> = if args.bench == "all" {
+        BenchProfile::all().iter().map(|p| p.name).collect()
+    } else {
+        vec![BenchProfile::named(&args.bench).expect("validated").name]
+    };
+    if args.csv {
+        print_csv_header();
+    }
+    for bench in benches {
+        let r = run_design_point(bench, args.lsq, args.scaled, args.spec);
+        if args.csv {
+            print_csv(bench, &r);
+        } else {
+            print_human(bench, &r);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Supplementary experiment: predictor behaviour under SPEC-scale SSIT
+//! pressure; see `lsq_experiments::experiments::supplementary_ssit_pressure`.
+
+fn main() {
+    println!(
+        "{}",
+        lsq_experiments::experiments::supplementary_ssit_pressure(
+            lsq_experiments::RunSpec::default()
+        )
+    );
+}

@@ -1,0 +1,5 @@
+//! Reproduces the paper's Table 1 (configuration dump).
+
+fn main() {
+    println!("{}", lsq_experiments::experiments::table1());
+}

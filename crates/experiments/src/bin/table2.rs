@@ -1,0 +1,5 @@
+//! Reproduces the paper's table2; see `lsq_experiments::experiments`.
+
+fn main() {
+    println!("{}", lsq_experiments::experiments::table2(lsq_experiments::RunSpec::default()));
+}

@@ -1,0 +1,5 @@
+//! Reproduces the paper's table3; see `lsq_experiments::experiments`.
+
+fn main() {
+    println!("{}", lsq_experiments::experiments::table3(lsq_experiments::RunSpec::default()));
+}

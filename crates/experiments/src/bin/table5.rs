@@ -1,0 +1,5 @@
+//! Reproduces the paper's table5; see `lsq_experiments::experiments`.
+
+fn main() {
+    println!("{}", lsq_experiments::experiments::table5(lsq_experiments::RunSpec::default()));
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # lsq-experiments — reproduction of every table and figure
+//!
+//! One runner per artifact of the paper's evaluation (§4): Tables 1–6 and
+//! Figures 6–12. Each experiment sweeps the relevant [`lsq_core::LsqConfig`]
+//! design points over the 18 synthetic SPEC2K workloads and prints rows
+//! shaped like the paper's, so EXPERIMENTS.md can record paper-vs-measured
+//! side by side.
+//!
+//! Run a single artifact with `cargo run --release -p lsq-experiments
+//! --bin fig10`, or everything with `--bin all`. The instruction budget
+//! per run is controlled by the `LSQ_INSTRS` environment variable
+//! (default 200,000 after a 40,000-instruction warm-up).
+//!
+//! # Examples
+//!
+//! ```
+//! use lsq_experiments::runner::{run_design_point, RunSpec};
+//! use lsq_core::LsqConfig;
+//!
+//! let spec = RunSpec { warmup: 1_000, instrs: 3_000, seed: 1 };
+//! let r = run_design_point("gzip", LsqConfig::default(), false, spec);
+//! assert!(r.ipc() > 0.1);
+//! ```
+
+pub mod experiments;
+pub mod runner;
+
+pub use experiments::{all, Artifact};
+pub use runner::{run_design_point, RunSpec};

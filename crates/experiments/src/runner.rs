@@ -1,0 +1,204 @@
+//! Shared machinery for running design points across benchmarks.
+
+use lsq_core::LsqConfig;
+use lsq_pipeline::{SimConfig, SimResult, Simulator};
+use lsq_trace::BenchProfile;
+
+/// Instruction budget for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSpec {
+    /// Instructions committed before measurement starts (caches,
+    /// predictors, and queues warm up; statistics from this phase are
+    /// discarded by differencing).
+    pub warmup: u64,
+    /// Instructions measured.
+    pub instrs: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        Self { warmup: 100_000, instrs: default_instrs(), seed: 1 }
+    }
+}
+
+fn default_instrs() -> u64 {
+    std::env::var("LSQ_INSTRS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(250_000)
+}
+
+/// Runs one `(benchmark, LSQ design point)` pair on the base (or scaled)
+/// processor and returns the measured-phase result.
+///
+/// The warm-up phase runs on the same machine state; measured counters are
+/// obtained by differencing cumulative counters where they matter (IPC is
+/// computed from the measured window).
+///
+/// # Panics
+///
+/// Panics if `bench` is not one of the 18 profile names.
+pub fn run_design_point(bench: &str, lsq: LsqConfig, scaled: bool, spec: RunSpec) -> SimResult {
+    let profile = BenchProfile::named(bench).unwrap_or_else(|| panic!("unknown benchmark {bench}"));
+    let cfg = if scaled { SimConfig::scaled(lsq) } else { SimConfig::with_lsq(lsq) };
+    let mut stream = profile.stream(spec.seed);
+    let mut sim = Simulator::new(cfg);
+    sim.prewarm(&stream.data_regions(), stream.code_region());
+    if spec.warmup > 0 {
+        let _ = sim.run(&mut stream, spec.warmup);
+    }
+    let before = sim.run(&mut stream, 0);
+    let after = sim.run(&mut stream, spec.instrs);
+    diff_results(&before, &after)
+}
+
+/// Subtracts the warm-up prefix from cumulative counters so the result
+/// reflects only the measured window.
+fn diff_results(before: &SimResult, after: &SimResult) -> SimResult {
+    let mut r = after.clone();
+    r.cycles = after.cycles - before.cycles;
+    r.committed = after.committed - before.committed;
+    r.loads_committed = after.loads_committed - before.loads_committed;
+    r.stores_committed = after.stores_committed - before.stores_committed;
+    r.branches_committed = after.branches_committed - before.branches_committed;
+    r.branch_predictions = after.branch_predictions - before.branch_predictions;
+    r.branch_mispredictions = after.branch_mispredictions - before.branch_mispredictions;
+    r.violation_squashes = after.violation_squashes - before.violation_squashes;
+    r.instructions_squashed = after.instructions_squashed - before.instructions_squashed;
+    // LSQ counters are cumulative; difference the scalar fields.
+    r.lsq.loads_dispatched -= before.lsq.loads_dispatched;
+    r.lsq.stores_dispatched -= before.lsq.stores_dispatched;
+    r.lsq.loads_issued -= before.lsq.loads_issued;
+    r.lsq.stores_issued -= before.lsq.stores_issued;
+    r.lsq.stores_committed -= before.lsq.stores_committed;
+    r.lsq.sq_searches -= before.lsq.sq_searches;
+    r.lsq.sq_search_hits -= before.lsq.sq_search_hits;
+    r.lsq.lq_searches_by_stores -= before.lsq.lq_searches_by_stores;
+    r.lsq.lq_searches_by_loads -= before.lsq.lq_searches_by_loads;
+    r.lsq.lb_searches -= before.lsq.lb_searches;
+    r.lsq.violations -= before.lsq.violations;
+    r.lsq.commit_violations -= before.lsq.commit_violations;
+    r.lsq.useless_searches -= before.lsq.useless_searches;
+    r.lsq.sq_port_stalls -= before.lsq.sq_port_stalls;
+    r.lsq.lq_port_stalls -= before.lsq.lq_port_stalls;
+    r.lsq.commit_port_delays -= before.lsq.commit_port_delays;
+    r.lsq.lb_full_stalls -= before.lsq.lb_full_stalls;
+    r.lsq.in_order_stalls -= before.lsq.in_order_stalls;
+    r.lsq.store_set_waits -= before.lsq.store_set_waits;
+    // Occupancy means and the segment histogram include the warm-up
+    // window; with warmup ≤ 20% of the run this bias is negligible.
+    r
+}
+
+/// Runs a design point for every benchmark, in parallel, returning
+/// `(name, result)` pairs in Table 2 order.
+pub fn run_all_benchmarks(
+    lsq: LsqConfig,
+    scaled: bool,
+    spec: RunSpec,
+) -> Vec<(&'static str, SimResult)> {
+    run_matrix(&[lsq], scaled, spec)
+        .into_iter()
+        .map(|(name, mut row)| (name, row.pop().expect("one config")))
+        .collect()
+}
+
+/// Runs several design points for every benchmark, in parallel. Returns
+/// one row per benchmark (Table 2 order), each with one result per
+/// design point (input order).
+pub fn run_matrix(
+    configs: &[LsqConfig],
+    scaled: bool,
+    spec: RunSpec,
+) -> Vec<(&'static str, Vec<SimResult>)> {
+    let names: Vec<&'static str> = BenchProfile::all().iter().map(|p| p.name).collect();
+    let mut out: Vec<(&'static str, Vec<SimResult>)> = Vec::with_capacity(names.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = names
+            .iter()
+            .map(|&name| {
+                scope.spawn(move || {
+                    configs
+                        .iter()
+                        .map(|&lsq| run_design_point(name, lsq, scaled, spec))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for (name, h) in names.iter().zip(handles) {
+            out.push((name, h.join().expect("benchmark thread panicked")));
+        }
+    });
+    out
+}
+
+/// Splits per-benchmark values into (INT mean, FP mean) using the Table 2
+/// benchmark classification.
+pub fn int_fp_means(rows: &[(&'static str, f64)]) -> (f64, f64) {
+    let mut int = Vec::new();
+    let mut fp = Vec::new();
+    for (name, v) in rows {
+        let profile = BenchProfile::named(name).expect("known benchmark");
+        if profile.fp {
+            fp.push(*v);
+        } else {
+            int.push(*v);
+        }
+    }
+    (
+        lsq_stats::mean(&int).unwrap_or(0.0),
+        lsq_stats::mean(&fp).unwrap_or(0.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: RunSpec = RunSpec { warmup: 2_000, instrs: 6_000, seed: 1 };
+
+    #[test]
+    fn run_design_point_produces_progress() {
+        let r = run_design_point("gzip", LsqConfig::default(), false, SMALL);
+        // The final cycle may retire up to commit_width instructions,
+        // so a run can overshoot its budget by a few.
+        assert!((6_000..6_008).contains(&r.committed), "committed {}", r.committed);
+        assert!(r.ipc() > 0.1);
+        assert!(!r.hit_cycle_cap);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_benchmark_panics() {
+        let _ = run_design_point("nonesuch", LsqConfig::default(), false, SMALL);
+    }
+
+    #[test]
+    fn diffing_removes_warmup() {
+        let with_warm = run_design_point("gzip", LsqConfig::default(), false, SMALL);
+        assert!(
+            (SMALL.instrs..SMALL.instrs + 8).contains(&with_warm.committed),
+            "warm-up committed removed ({})",
+            with_warm.committed
+        );
+        assert!(with_warm.lsq.loads_issued < 6_000 * 2, "counters are windowed");
+    }
+
+    #[test]
+    fn int_fp_split() {
+        let rows = vec![("gzip", 2.0), ("mgrid", 4.0)];
+        let (i, f) = int_fp_means(&rows);
+        assert_eq!(i, 2.0);
+        assert_eq!(f, 4.0);
+    }
+
+    #[test]
+    fn matrix_runs_all_benchmarks() {
+        let tiny = RunSpec { warmup: 200, instrs: 800, seed: 1 };
+        let rows = run_matrix(&[LsqConfig::default()], false, tiny);
+        assert_eq!(rows.len(), 18);
+        assert!(rows.iter().all(|(_, r)| (800..808).contains(&r[0].committed)));
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Instruction-set model shared by the workload generator, the LSQ models,
+//! and the pipeline simulator.
+//!
+//! The reproduction is *trace-driven*: a workload (see `lsq-trace`)
+//! produces a stream of [`Instruction`]s — the committed, correct-path
+//! dynamic instruction stream — and the pipeline simulator replays it
+//! through a cycle-level out-of-order core. Wrong-path effects are modeled
+//! as fetch bubbles rather than by executing wrong-path instructions
+//! (the standard trace-driven simplification; see DESIGN.md §4).
+//!
+//! # Examples
+//!
+//! ```
+//! use lsq_isa::{Instruction, InstrKind, Pc, Addr, ArchReg, RegClass};
+//!
+//! let load = Instruction::load(Pc(0x400000), Addr(0x1000))
+//!     .with_dst(ArchReg::int(3))
+//!     .with_src(ArchReg::int(1));
+//! assert!(load.kind.is_load());
+//! assert!(load.kind.is_mem());
+//! ```
+
+pub mod instr;
+pub mod stream;
+
+pub use instr::{Addr, ArchReg, InstrKind, Instruction, Pc, RegClass};
+pub use stream::{InstructionStream, SliceStream, VecStream};

@@ -1,0 +1,200 @@
+//! The hybrid GAg/PAg branch predictor of the paper's Table 1: a global
+//! two-level component (GAg), a per-address two-level component (PAg),
+//! 4K-entry pattern tables each, and a chooser that learns per-branch
+//! which component to trust.
+//!
+//! The simulator is trace-driven, so the predictor is consulted and
+//! trained at fetch (the standard trace-driven discipline); a wrong
+//! prediction stalls fetch until the branch resolves and then charges the
+//! Table 1 redirect penalty.
+
+use lsq_isa::Pc;
+
+const PATTERN_BITS: u32 = 12; // 4K-entry pattern tables
+const LOCAL_HISTORIES: u32 = 10; // 1K per-address history registers
+const CHOOSER_BITS: u32 = 12;
+
+#[inline]
+fn counter_predict(c: u8) -> bool {
+    c >= 2
+}
+
+#[inline]
+fn counter_update(c: &mut u8, taken: bool) {
+    if taken {
+        *c = (*c + 1).min(3);
+    } else {
+        *c = c.saturating_sub(1);
+    }
+}
+
+/// Hybrid GAg + PAg predictor with a per-branch chooser.
+#[derive(Debug, Clone)]
+pub struct HybridPredictor {
+    ghist: u16,
+    gag: Vec<u8>,
+    local_hist: Vec<u16>,
+    pag: Vec<u8>,
+    chooser: Vec<u8>,
+    predictions: u64,
+    mispredictions: u64,
+}
+
+impl Default for HybridPredictor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HybridPredictor {
+    /// Builds the Table 1 predictor (4K-entry GAg and PAg tables).
+    pub fn new() -> Self {
+        Self {
+            ghist: 0,
+            // Weakly taken start: loopy code predicts well immediately.
+            gag: vec![2; 1 << PATTERN_BITS],
+            local_hist: vec![0; 1 << LOCAL_HISTORIES],
+            pag: vec![2; 1 << PATTERN_BITS],
+            chooser: vec![2; 1 << CHOOSER_BITS],
+            predictions: 0,
+            mispredictions: 0,
+        }
+    }
+
+    /// Predicts the branch at `pc`, trains on the actual outcome, and
+    /// returns whether the prediction was **correct**.
+    pub fn predict_and_update(&mut self, pc: Pc, taken: bool) -> bool {
+        let gidx = (self.ghist as usize) & ((1 << PATTERN_BITS) - 1);
+        let lhidx = pc.index(LOCAL_HISTORIES);
+        let lidx = (self.local_hist[lhidx] as usize) & ((1 << PATTERN_BITS) - 1);
+        let cidx = pc.index(CHOOSER_BITS);
+
+        let gpred = counter_predict(self.gag[gidx]);
+        let lpred = counter_predict(self.pag[lidx]);
+        let use_local = counter_predict(self.chooser[cidx]);
+        let pred = if use_local { lpred } else { gpred };
+
+        // Train the chooser toward whichever component was right.
+        if gpred != lpred {
+            counter_update(&mut self.chooser[cidx], lpred == taken);
+        }
+        counter_update(&mut self.gag[gidx], taken);
+        counter_update(&mut self.pag[lidx], taken);
+        self.ghist = (self.ghist << 1) | u16::from(taken);
+        self.local_hist[lhidx] = (self.local_hist[lhidx] << 1) | u16::from(taken);
+
+        self.predictions += 1;
+        let correct = pred == taken;
+        if !correct {
+            self.mispredictions += 1;
+        }
+        correct
+    }
+
+    /// Total predictions made.
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+
+    /// Total mispredictions.
+    pub fn mispredictions(&self) -> u64 {
+        self.mispredictions
+    }
+
+    /// Misprediction rate; 0.0 before any prediction.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.predictions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsq_util::rng::Xoshiro256;
+
+    #[test]
+    fn learns_always_taken() {
+        let mut p = HybridPredictor::new();
+        for _ in 0..200 {
+            p.predict_and_update(Pc(0x400), true);
+        }
+        // After warmup, a monomorphic branch is predicted perfectly.
+        let before = p.mispredictions();
+        for _ in 0..200 {
+            p.predict_and_update(Pc(0x400), true);
+        }
+        assert_eq!(p.mispredictions(), before);
+    }
+
+    #[test]
+    fn learns_short_loop_pattern() {
+        // T T T N repeating: local history disambiguates perfectly.
+        let mut p = HybridPredictor::new();
+        for i in 0..400usize {
+            p.predict_and_update(Pc(0x800), i % 4 != 3);
+        }
+        let before = p.mispredictions();
+        for i in 0..400usize {
+            p.predict_and_update(Pc(0x800), i % 4 != 3);
+        }
+        let tail_misses = p.mispredictions() - before;
+        assert!(
+            tail_misses < 20,
+            "periodic pattern should be learned, {tail_misses} late misses"
+        );
+    }
+
+    #[test]
+    fn random_branches_mispredict_about_half() {
+        let mut p = HybridPredictor::new();
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        for _ in 0..20_000 {
+            p.predict_and_update(Pc(0xc00), rng.chance(0.5));
+        }
+        let rate = p.mispredict_rate();
+        assert!((0.4..0.6).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn biased_branches_mispredict_near_bias() {
+        let mut p = HybridPredictor::new();
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        for _ in 0..40_000 {
+            p.predict_and_update(Pc(0x1000), rng.chance(0.9));
+        }
+        let rate = p.mispredict_rate();
+        assert!(rate < 0.2, "90%-biased branch rate {rate}");
+    }
+
+    #[test]
+    fn interleaved_branches_use_local_histories() {
+        // Branch A always taken, branch B alternates: PAg separates them.
+        let mut p = HybridPredictor::new();
+        let mut flip = false;
+        for _ in 0..2000 {
+            p.predict_and_update(Pc(0x2000), true);
+            flip = !flip;
+            p.predict_and_update(Pc(0x2004), flip);
+        }
+        let before = p.mispredictions();
+        for _ in 0..1000 {
+            p.predict_and_update(Pc(0x2000), true);
+            flip = !flip;
+            p.predict_and_update(Pc(0x2004), flip);
+        }
+        let tail = p.mispredictions() - before;
+        assert!(tail < 50, "interleaved patterns should be learned ({tail})");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut p = HybridPredictor::new();
+        assert_eq!(p.mispredict_rate(), 0.0);
+        p.predict_and_update(Pc(4), true);
+        assert_eq!(p.predictions(), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Results of a simulation run.
+
+use lsq_core::LsqStats;
+
+/// Everything measured over one run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Loads committed.
+    pub loads_committed: u64,
+    /// Stores committed.
+    pub stores_committed: u64,
+    /// Branches committed.
+    pub branches_committed: u64,
+    /// Branch predictions made (at fetch).
+    pub branch_predictions: u64,
+    /// Branch mispredictions (each stalls fetch and pays the redirect
+    /// penalty).
+    pub branch_mispredictions: u64,
+    /// Pipeline squashes due to memory-order violations.
+    pub violation_squashes: u64,
+    /// Instructions squashed (refetched) across all causes.
+    pub instructions_squashed: u64,
+    /// Mean load-queue occupancy per cycle (paper Table 5).
+    pub lq_occupancy: f64,
+    /// Mean store-queue occupancy per cycle (paper Table 5).
+    pub sq_occupancy: f64,
+    /// Mean number of loads issued out of program order per cycle (paper
+    /// Table 4).
+    pub ooo_issued_loads: f64,
+    /// Mean in-flight loads per cycle (the paper quotes ~41).
+    pub inflight_loads: f64,
+    /// LSQ event counters.
+    pub lsq: LsqStats,
+    /// L1 d-cache miss rate.
+    pub l1d_miss_rate: f64,
+    /// L2 miss rate.
+    pub l2_miss_rate: f64,
+    /// Whether the run ended by hitting the safety cycle cap rather than
+    /// the instruction budget (indicates a deadlocked configuration).
+    pub hit_cycle_cap: bool,
+}
+
+impl SimResult {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Speedup of this run over a baseline run of the same workload
+    /// (ratio of IPCs; > 1.0 means faster).
+    pub fn speedup_over(&self, base: &SimResult) -> f64 {
+        let b = base.ipc();
+        if b == 0.0 {
+            0.0
+        } else {
+            self.ipc() / b
+        }
+    }
+
+    /// Branch misprediction rate.
+    pub fn branch_mispredict_rate(&self) -> f64 {
+        if self.branch_predictions == 0 {
+            0.0
+        } else {
+            self.branch_mispredictions as f64 / self.branch_predictions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank() -> SimResult {
+        SimResult {
+            cycles: 0,
+            committed: 0,
+            loads_committed: 0,
+            stores_committed: 0,
+            branches_committed: 0,
+            branch_predictions: 0,
+            branch_mispredictions: 0,
+            violation_squashes: 0,
+            instructions_squashed: 0,
+            lq_occupancy: 0.0,
+            sq_occupancy: 0.0,
+            ooo_issued_loads: 0.0,
+            inflight_loads: 0.0,
+            lsq: LsqStats::new(1),
+            l1d_miss_rate: 0.0,
+            l2_miss_rate: 0.0,
+            hit_cycle_cap: false,
+        }
+    }
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        assert_eq!(blank().ipc(), 0.0);
+    }
+
+    #[test]
+    fn ipc_and_speedup() {
+        let mut a = blank();
+        a.cycles = 100;
+        a.committed = 250;
+        let mut b = blank();
+        b.cycles = 100;
+        b.committed = 200;
+        assert_eq!(a.ipc(), 2.5);
+        assert_eq!(a.speedup_over(&b), 1.25);
+        assert_eq!(a.speedup_over(&blank()), 0.0);
+    }
+
+    #[test]
+    fn branch_rate() {
+        let mut r = blank();
+        assert_eq!(r.branch_mispredict_rate(), 0.0);
+        r.branch_predictions = 10;
+        r.branch_mispredictions = 1;
+        assert!((r.branch_mispredict_rate() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,972 @@
+//! The cycle-level out-of-order superscalar simulator.
+//!
+//! Trace-driven, structural-hazard model with the stage ordering
+//! `commit → issue/execute → dispatch → fetch` evaluated once per cycle
+//! (commit first, so a stage sees the previous cycle's state downstream
+//! of it). The model captures every pipeline-level effect the paper's
+//! techniques act through:
+//!
+//! * **issue stalls** when LSQ search ports, d-cache ports, functional
+//!   units, the load buffer, or store-set gating say no;
+//! * **dispatch stalls** when the ROB, issue queue, or LSQ capacity
+//!   (per the segmentation allocation strategy) is exhausted;
+//! * **squash and refetch** on memory-order violations, with the higher
+//!   penalty of commit-time detection under the pair predictor;
+//! * **fetch stalls** on branch mispredictions (hybrid GAg/PAg) and
+//!   i-cache misses;
+//! * **speculative vs. late wakeup** of load dependents under segmented,
+//!   variable-latency forwarding searches.
+//!
+//! Wrong-path instructions are modeled as fetch bubbles (trace-driven
+//! simplification); store-to-load forwarding and violation detection use
+//! only hardware-visible state inside [`Lsq`].
+
+use crate::branch::HybridPredictor;
+use crate::config::SimConfig;
+use crate::result::SimResult;
+use lsq_core::{LoadIssue, Lsq, StoreDrain, StoreIssue};
+use lsq_isa::{Addr, InstrKind, Instruction, InstructionStream};
+use lsq_mem::MemoryHierarchy;
+use lsq_stats::RunningMean;
+use lsq_util::rng::Xoshiro256;
+use lsq_util::RingQueue;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Dispatched, waiting in the issue queue.
+    Waiting,
+    /// Issued to a functional unit / the memory system.
+    Issued,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DynInst {
+    instr: Instruction,
+    /// Producer sequence numbers this instruction waits on.
+    deps: [Option<u64>; 2],
+    state: State,
+    /// Cycle at which the result is available (valid once issued).
+    complete_at: u64,
+    /// Extra cycles dependents wait beyond `complete_at` (late wakeup).
+    wakeup_extra: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Fetched {
+    gseq: u64,
+    instr: Instruction,
+    avail_at: u64,
+}
+
+/// The out-of-order core.
+#[derive(Debug)]
+pub struct Simulator {
+    cfg: SimConfig,
+    lsq: Lsq,
+    mem: MemoryHierarchy,
+    bp: HybridPredictor,
+    rob: RingQueue<DynInst>,
+    /// Sequence numbers of instructions waiting in the issue queue, in
+    /// program order.
+    iq: Vec<u64>,
+    /// Architectural register → producing in-flight instruction.
+    rename: [Option<u64>; 64],
+    /// Fetched but not yet dispatched instructions.
+    frontend: VecDeque<Fetched>,
+    /// Correct-path instructions from the oldest in-flight one to the
+    /// youngest fetched, for squash-and-refetch replay.
+    replay: VecDeque<Instruction>,
+    replay_base: u64,
+    next_fetch: u64,
+    fetch_resume_at: u64,
+    /// Branch we are stalled on after a fetch-time misprediction.
+    pending_redirect: Option<u64>,
+    cur_fetch_block: Option<u64>,
+    cycle: u64,
+    dcache_used: usize,
+    stream_done: bool,
+    /// Deterministic source for coherence-invalidation injection.
+    coherence_rng: Xoshiro256,
+
+    committed: u64,
+    loads_committed: u64,
+    stores_committed: u64,
+    branches_committed: u64,
+    violation_squashes: u64,
+    instructions_squashed: u64,
+    lq_occ: RunningMean,
+    sq_occ: RunningMean,
+    ooo_loads: RunningMean,
+    inflight_loads: RunningMean,
+}
+
+impl Simulator {
+    /// Builds a simulator for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SimConfig::validate`].
+    pub fn new(cfg: SimConfig) -> Self {
+        cfg.validate().expect("valid simulator configuration");
+        Self {
+            lsq: Lsq::new(cfg.lsq).expect("validated above"),
+            mem: MemoryHierarchy::new(cfg.hierarchy),
+            bp: HybridPredictor::new(),
+            rob: RingQueue::new(cfg.rob_entries),
+            iq: Vec::with_capacity(cfg.iq_entries),
+            rename: [None; 64],
+            frontend: VecDeque::new(),
+            replay: VecDeque::new(),
+            replay_base: 0,
+            next_fetch: 0,
+            fetch_resume_at: 0,
+            pending_redirect: None,
+            cur_fetch_block: None,
+            cycle: 0,
+            dcache_used: 0,
+            stream_done: false,
+            coherence_rng: Xoshiro256::seed_from_u64(0xC0_4E_0E_1C),
+            committed: 0,
+            loads_committed: 0,
+            stores_committed: 0,
+            branches_committed: 0,
+            violation_squashes: 0,
+            instructions_squashed: 0,
+            lq_occ: RunningMean::new(),
+            sq_occ: RunningMean::new(),
+            ooo_loads: RunningMean::new(),
+            inflight_loads: RunningMean::new(),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Pre-warms the cache hierarchy with the workload's data and code
+    /// footprints (see [`MemoryHierarchy::prewarm_data`]); the stand-in
+    /// for the paper's 3-billion-instruction fast-forward before
+    /// measurement.
+    pub fn prewarm(&mut self, data_regions: &[(u64, u64)], code: (u64, u64)) {
+        self.mem.prewarm_data(data_regions);
+        self.mem.prewarm_code(code.0, code.1);
+    }
+
+    /// Runs until `max_instrs` instructions have committed (or the trace
+    /// ends, or the safety cycle cap triggers) and reports the results.
+    /// Calling `run` again continues the same machine state with a fresh
+    /// instruction budget, which is how warm-up runs are expressed.
+    pub fn run<S: InstructionStream>(&mut self, stream: &mut S, max_instrs: u64) -> SimResult {
+        let target = self.committed + max_instrs;
+        let cycle_cap = self
+            .cycle
+            .saturating_add(max_instrs.saturating_mul(self.cfg.cycle_cap_per_instr))
+            .saturating_add(10_000);
+        let mut hit_cap = false;
+        while self.committed < target {
+            // Done only when the trace is exhausted AND no fetched
+            // instruction is left in flight or awaiting refetch (the
+            // replay buffer drains at commit, so it is the authoritative
+            // emptiness check — the ROB alone can be transiently empty
+            // right after an end-of-trace squash).
+            if self.stream_done && self.replay.is_empty() {
+                break;
+            }
+            self.step(stream);
+            if self.cycle >= cycle_cap {
+                hit_cap = true;
+                break;
+            }
+        }
+        self.result(hit_cap)
+    }
+
+    /// Advances the machine one cycle.
+    fn step<S: InstructionStream>(&mut self, stream: &mut S) {
+        self.cycle += 1;
+        self.dcache_used = 0;
+        self.lsq.begin_cycle();
+        self.inject_invalidations();
+        self.drain_stores();
+        self.commit();
+        self.issue();
+        self.dispatch();
+        self.fetch(stream);
+        self.sample();
+    }
+
+    fn sample(&mut self) {
+        self.lq_occ.record(self.lsq.lq_occupancy() as f64);
+        self.sq_occ.record(self.lsq.sq_occupancy() as f64);
+        self.ooo_loads.record(self.lsq.out_of_order_issued_loads() as f64);
+        self.inflight_loads.record(self.lsq.lq_occupancy() as f64);
+    }
+
+    /// Injects external coherence invalidations (§2.2 scheme 2): with the
+    /// configured per-cycle probability, a word some outstanding load has
+    /// read is written by "another processor"; any outstanding load to
+    /// that word (premature or otherwise) is squashed with everything
+    /// younger, R10000-style.
+    fn inject_invalidations(&mut self) {
+        if self.cfg.invalidation_rate <= 0.0 {
+            return;
+        }
+        if !self.coherence_rng.chance(self.cfg.invalidation_rate) {
+            return;
+        }
+        let pick = self.coherence_rng.range_usize(1 << 16);
+        if let Some(addr) = self.lsq.nth_issued_load_addr(pick) {
+            if let Some(victim) = self.lsq.invalidate(addr) {
+                self.squash(victim, self.cfg.mispredict_penalty);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    /// Drains retired stores from the store queue in the background:
+    /// each drain writes the cache (d-cache port) and, under the pair
+    /// scheme, performs the commit-time violation search (LQ ports). A
+    /// detected violation squashes from the premature load — which is
+    /// still in the ROB, since loads cannot retire past an undrained
+    /// older store.
+    fn drain_stores(&mut self) {
+        while self.dcache_used < self.cfg.dcache_ports {
+            match self.lsq.drain_store() {
+                StoreDrain::Idle | StoreDrain::Blocked => break,
+                StoreDrain::Drained { seq: _, addr, violation } => {
+                    self.dcache_used += 1;
+                    self.mem.data_access(addr, true);
+                    if let Some(victim) = violation {
+                        let penalty =
+                            self.cfg.mispredict_penalty + self.cfg.pair_recovery_extra;
+                        self.squash(victim, penalty);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn commit(&mut self) {
+        for _ in 0..self.cfg.commit_width {
+            let Some(seq) = self.rob.head_seq() else { break };
+            let e = *self.rob.front().expect("head exists");
+            if e.state != State::Issued || e.complete_at > self.cycle {
+                break;
+            }
+            match e.instr.kind {
+                InstrKind::Store => {
+                    // Retirement frees the ROB slot; the SQ entry drains
+                    // in the background ("the store is not in the
+                    // pipeline anymore", §3.2).
+                    self.lsq.store_retire(seq);
+                    self.retire(seq);
+                }
+                InstrKind::Load => {
+                    // A load may not retire past an undrained older
+                    // store: the drain's violation search must still see
+                    // it in the load queue.
+                    if self.lsq.has_undrained_store_before(seq) {
+                        break;
+                    }
+                    self.lsq.commit_load(seq);
+                    self.retire(seq);
+                }
+                _ => self.retire(seq),
+            }
+        }
+    }
+
+    fn retire(&mut self, seq: u64) {
+        let (s, e) = self.rob.pop().expect("retiring head");
+        debug_assert_eq!(s, seq);
+        debug_assert_eq!(self.replay_base, seq);
+        self.replay.pop_front();
+        self.replay_base += 1;
+        // A retired instruction's value lives in the architectural state;
+        // drop the rename mapping if it still points here.
+        if let Some(dst) = e.instr.dst {
+            let slot = &mut self.rename[dst.flat_index()];
+            if *slot == Some(seq) {
+                *slot = None;
+            }
+        }
+        self.committed += 1;
+        match e.instr.kind {
+            InstrKind::Load => self.loads_committed += 1,
+            InstrKind::Store => self.stores_committed += 1,
+            InstrKind::Branch => self.branches_committed += 1,
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue / execute
+    // ------------------------------------------------------------------
+
+    /// Cycle at which dependence `dep` allows issue, or `None` if the
+    /// producer has not yet issued.
+    fn dep_ready_at(&self, dep: u64) -> Option<u64> {
+        match self.rob.get(dep) {
+            None => Some(0), // committed
+            Some(p) => match p.state {
+                State::Waiting => None,
+                State::Issued => Some(p.complete_at + u64::from(p.wakeup_extra)),
+            },
+        }
+    }
+
+    fn ready(&self, e: &DynInst) -> bool {
+        e.deps
+            .iter()
+            .flatten()
+            .all(|&d| self.dep_ready_at(d).is_some_and(|t| t <= self.cycle))
+    }
+
+    fn issue(&mut self) {
+        let mut issued = 0usize;
+        let mut int_left = self.cfg.int_units;
+        let mut fp_left = self.cfg.fp_units;
+        let mut squash_request = None;
+        let mut i = 0usize;
+        while i < self.iq.len() && issued < self.cfg.issue_width {
+            let seq = self.iq[i];
+            let e = *self.rob.get(seq).expect("IQ entry in ROB");
+            debug_assert_eq!(e.state, State::Waiting);
+            if !self.ready(&e) {
+                i += 1;
+                continue;
+            }
+            let kind = e.instr.kind;
+            let fp = kind.is_fp();
+            let unit_left = if fp { &mut fp_left } else { &mut int_left };
+            if *unit_left == 0 {
+                i += 1;
+                continue;
+            }
+            match kind {
+                InstrKind::Load => {
+                    if self.dcache_used >= self.cfg.dcache_ports {
+                        i += 1;
+                        continue;
+                    }
+                    match self.lsq.load_issue(seq) {
+                        LoadIssue::Issued(li) => {
+                            if li.load_order_violation.is_some() {
+                                // §2.2 scheme 1: a younger same-word load
+                                // issued out of order; squash it (the
+                                // issuing, older load proceeds).
+                                squash_request = li.load_order_violation;
+                            }
+                            let lat = if li.forwarded_from.is_some() {
+                                // Forwarded data arrives with hit latency.
+                                self.cfg.hierarchy.l1d_hit_latency()
+                            } else {
+                                self.mem.data_access(e.instr.addr, false)
+                            };
+                            let entry = self.rob.get_mut(seq).expect("resident");
+                            entry.state = State::Issued;
+                            entry.complete_at =
+                                self.cycle + u64::from(lat) + u64::from(li.extra_cycles);
+                            entry.wakeup_extra = if li.early_wakeup {
+                                0
+                            } else {
+                                self.cfg.late_wakeup_penalty
+                            };
+                            self.dcache_used += 1;
+                            *unit_left -= 1;
+                            issued += 1;
+                            self.iq.remove(i);
+                            if squash_request.is_some() {
+                                break;
+                            }
+                        }
+                        _stall => {
+                            i += 1;
+                        }
+                    }
+                }
+                InstrKind::Store => match self.lsq.store_issue(seq) {
+                    StoreIssue::Issued { violation } => {
+                        let entry = self.rob.get_mut(seq).expect("resident");
+                        entry.state = State::Issued;
+                        entry.complete_at = self.cycle + 1;
+                        *unit_left -= 1;
+                        issued += 1;
+                        self.iq.remove(i);
+                        if violation.is_some() {
+                            squash_request = violation;
+                            break;
+                        }
+                    }
+                    StoreIssue::NoLqPort => {
+                        i += 1;
+                    }
+                },
+                _ => {
+                    let entry = self.rob.get_mut(seq).expect("resident");
+                    entry.state = State::Issued;
+                    entry.complete_at = self.cycle + u64::from(kind.exec_latency());
+                    let complete_at = entry.complete_at;
+                    *unit_left -= 1;
+                    issued += 1;
+                    self.iq.remove(i);
+                    if kind.is_branch() && self.pending_redirect == Some(seq) {
+                        // The mispredicted branch resolves: redirect fetch
+                        // after the Table 1 penalty.
+                        self.pending_redirect = None;
+                        self.fetch_resume_at = complete_at + self.cfg.mispredict_penalty;
+                        self.cur_fetch_block = None;
+                    }
+                }
+            }
+        }
+        if let Some(victim) = squash_request {
+            self.squash(victim, self.cfg.mispredict_penalty);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch (rename + queue allocation)
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self) {
+        for _ in 0..self.cfg.dispatch_width {
+            let Some(f) = self.frontend.front().copied() else { break };
+            if f.avail_at > self.cycle {
+                break;
+            }
+            if self.rob.is_full() || self.iq.len() >= self.cfg.iq_entries {
+                break;
+            }
+            match f.instr.kind {
+                InstrKind::Load if !self.lsq.can_dispatch_load() => break,
+                InstrKind::Store if !self.lsq.can_dispatch_store() => break,
+                _ => {}
+            }
+            self.frontend.pop_front();
+            let mut deps = [None, None];
+            for (slot, src) in f.instr.srcs.iter().enumerate() {
+                if let Some(r) = src {
+                    deps[slot] = self.rename[r.flat_index()];
+                }
+            }
+            let seq = self
+                .rob
+                .push(DynInst {
+                    instr: f.instr,
+                    deps,
+                    state: State::Waiting,
+                    complete_at: 0,
+                    wakeup_extra: 0,
+                })
+                .expect("checked not full");
+            debug_assert_eq!(seq, f.gseq);
+            match f.instr.kind {
+                InstrKind::Load => self.lsq.dispatch_load(seq, f.instr.pc, f.instr.addr),
+                InstrKind::Store => self.lsq.dispatch_store(seq, f.instr.pc, f.instr.addr),
+                _ => {}
+            }
+            if let Some(dst) = f.instr.dst {
+                self.rename[dst.flat_index()] = Some(seq);
+            }
+            self.iq.push(seq);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch
+    // ------------------------------------------------------------------
+
+    fn fetch<S: InstructionStream>(&mut self, stream: &mut S) {
+        if self.cycle < self.fetch_resume_at || self.pending_redirect.is_some() {
+            return;
+        }
+        let i_block = self.cfg.hierarchy.l1i.block_bytes;
+        let i_hit = self.cfg.hierarchy.l1i.hit_latency;
+        for _ in 0..self.cfg.fetch_width {
+            if self.frontend.len() >= 2 * self.cfg.fetch_width {
+                break;
+            }
+            // Obtain the instruction at `next_fetch`: from the replay
+            // buffer after a squash, from the trace otherwise.
+            let idx = (self.next_fetch - self.replay_base) as usize;
+            let instr = if idx < self.replay.len() {
+                self.replay[idx]
+            } else {
+                match stream.next_instr() {
+                    Some(i) => {
+                        self.replay.push_back(i);
+                        i
+                    }
+                    None => {
+                        self.stream_done = true;
+                        break;
+                    }
+                }
+            };
+            // Instruction cache: accessing a new block may miss and stall
+            // fetch for the extra latency.
+            let block = instr.pc.0 / i_block;
+            if self.cur_fetch_block != Some(block) {
+                let lat = self.mem.inst_fetch(Addr(instr.pc.0));
+                self.cur_fetch_block = Some(block);
+                let extra = lat.saturating_sub(i_hit);
+                if extra > 0 {
+                    self.fetch_resume_at = self.cycle + u64::from(extra);
+                    break; // the instruction is fetched after the miss
+                }
+            }
+            let gseq = self.next_fetch;
+            self.next_fetch += 1;
+            self.frontend.push_back(Fetched { gseq, instr, avail_at: self.cycle + 1 });
+            if instr.kind.is_branch() {
+                let correct = self.bp.predict_and_update(instr.pc, instr.taken);
+                if !correct {
+                    // Wrong path: stall fetch until this branch resolves.
+                    self.pending_redirect = Some(gseq);
+                    break;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Squash
+    // ------------------------------------------------------------------
+
+    /// Flushes `victim` and everything younger, rewinds fetch to refetch
+    /// from `victim`, and charges `penalty` cycles before fetch resumes.
+    fn squash(&mut self, victim: u64, penalty: u64) {
+        self.violation_squashes += 1;
+        let removed = self.rob.truncate_from(victim);
+        self.instructions_squashed += removed as u64;
+        self.iq.retain(|&s| s < victim);
+        self.lsq.squash_from(victim);
+        self.frontend.retain(|f| f.gseq < victim);
+        // Rebuild the rename map from the surviving ROB contents.
+        self.rename = [None; 64];
+        for (seq, e) in self.rob.iter() {
+            if let Some(dst) = e.instr.dst {
+                self.rename[dst.flat_index()] = Some(seq);
+            }
+        }
+        self.next_fetch = victim;
+        self.fetch_resume_at = self.cycle + penalty;
+        self.cur_fetch_block = None;
+        if self.pending_redirect.is_some_and(|b| b >= victim) {
+            self.pending_redirect = None;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Results
+    // ------------------------------------------------------------------
+
+    fn result(&self, hit_cycle_cap: bool) -> SimResult {
+        SimResult {
+            cycles: self.cycle,
+            committed: self.committed,
+            loads_committed: self.loads_committed,
+            stores_committed: self.stores_committed,
+            branches_committed: self.branches_committed,
+            branch_predictions: self.bp.predictions(),
+            branch_mispredictions: self.bp.mispredictions(),
+            violation_squashes: self.violation_squashes,
+            instructions_squashed: self.instructions_squashed,
+            lq_occupancy: self.lq_occ.mean(),
+            sq_occupancy: self.sq_occ.mean(),
+            ooo_issued_loads: self.ooo_loads.mean(),
+            inflight_loads: self.inflight_loads.mean(),
+            lsq: self.lsq.stats().clone(),
+            l1d_miss_rate: self.mem.l1d_stats().miss_rate(),
+            l2_miss_rate: self.mem.l2_stats().miss_rate(),
+            hit_cycle_cap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsq_core::{LoadOrderPolicy, LsqConfig, PredictorKind};
+    use lsq_isa::{ArchReg, Pc, VecStream};
+
+    fn run_instrs(cfg: SimConfig, instrs: Vec<Instruction>) -> SimResult {
+        let n = instrs.len() as u64;
+        let mut stream = VecStream::new(instrs);
+        let mut sim = Simulator::new(cfg);
+        sim.run(&mut stream, n)
+    }
+
+    fn alu(pc: u64) -> Instruction {
+        Instruction::op(Pc(pc), InstrKind::IntAlu)
+    }
+
+    #[test]
+    fn commits_every_instruction_of_a_straight_line_program() {
+        // PCs loop over a small code footprint so the i-cache warms up,
+        // as in real loop nests.
+        let instrs: Vec<Instruction> = (0..4000).map(|i| alu(0x1000 + (i % 64) * 4)).collect();
+        let r = run_instrs(SimConfig::default(), instrs);
+        assert_eq!(r.committed, 4000);
+        assert!(!r.hit_cycle_cap);
+        assert!(
+            r.cycles < 4000,
+            "8-wide machine needs far fewer cycles than instrs ({})",
+            r.cycles
+        );
+    }
+
+    #[test]
+    fn independent_alus_reach_high_ipc() {
+        let instrs: Vec<Instruction> =
+            (0..40_000).map(|i| alu(0x1000 + (i % 64) * 4)).collect();
+        let r = run_instrs(SimConfig::default(), instrs);
+        assert!(r.ipc() > 5.0, "ipc {}", r.ipc());
+    }
+
+    #[test]
+    fn dependence_chain_limits_ipc_to_one() {
+        let mut instrs = Vec::new();
+        for i in 0..20_000u64 {
+            instrs.push(
+                Instruction::op(Pc(0x1000 + (i % 64) * 4), InstrKind::IntAlu)
+                    .with_dst(ArchReg::int(1))
+                    .with_src(ArchReg::int(1)),
+            );
+        }
+        let r = run_instrs(SimConfig::default(), instrs);
+        assert!(r.ipc() < 1.2, "serial chain ipc {}", r.ipc());
+        assert!(r.ipc() > 0.8, "back-to-back issue should sustain ~1 ipc, got {}", r.ipc());
+    }
+
+    #[test]
+    fn load_latency_is_visible_in_dependent_chains() {
+        // load -> dependent alu chain, all L1 hits after warmup: each link
+        // costs the 2-cycle hit latency.
+        let mut instrs = Vec::new();
+        for i in 0..5000u64 {
+            instrs.push(
+                Instruction::load(Pc(0x1000 + (i % 64) * 8), Addr(0x100))
+                    .with_dst(ArchReg::int(1))
+                    .with_src(ArchReg::int(1)),
+            );
+        }
+        let r = run_instrs(SimConfig::default(), instrs);
+        // Serialized loads: ~2 cycles each.
+        assert!(r.ipc() < 0.7, "ipc {}", r.ipc());
+    }
+
+    #[test]
+    fn forwarding_supplies_load_values() {
+        // store A; load A pairs forward; no violations since the load's
+        // address dependence makes it issue after the store.
+        let mut instrs = Vec::new();
+        for i in 0..300u64 {
+            let pc = 0x1000 + (i % 16) * 16;
+            instrs.push(
+                Instruction::op(Pc(pc), InstrKind::IntAlu).with_dst(ArchReg::int(2)),
+            );
+            instrs.push(
+                Instruction::store(Pc(pc + 4), Addr(0x40)).with_src(ArchReg::int(2)),
+            );
+            instrs.push(Instruction::load(Pc(pc + 8), Addr(0x40)).with_dst(ArchReg::int(3)));
+        }
+        let r = run_instrs(SimConfig::default(), instrs);
+        assert_eq!(r.committed, 900);
+        assert!(r.lsq.sq_search_hits > 0, "forwarding hits must occur");
+    }
+
+    #[test]
+    fn branch_mispredictions_cost_cycles() {
+        // Alternating taken/not-taken is learnable; random is not. Compare
+        // cycles for the same instruction count.
+        let mk = |pattern: fn(u64) -> bool| -> Vec<Instruction> {
+            let mut v = Vec::new();
+            for i in 0..3000u64 {
+                if i % 4 == 3 {
+                    v.push(Instruction::branch(Pc(0x1000 + (i % 64) * 4), pattern(i)));
+                } else {
+                    v.push(alu(0x1000 + (i % 64) * 4));
+                }
+            }
+            v
+        };
+        let predictable = run_instrs(SimConfig::default(), mk(|_| true));
+        // Properly mixed pseudo-random outcomes the predictor cannot learn.
+        fn noise(i: u64) -> bool {
+            let mut s = i;
+            lsq_util::rng::splitmix64(&mut s) & 1 == 1
+        }
+        let random = run_instrs(SimConfig::default(), mk(noise));
+        assert!(
+            random.cycles > predictable.cycles * 2,
+            "mispredicts must hurt: {} vs {}",
+            random.cycles,
+            predictable.cycles
+        );
+        assert!(random.branch_mispredict_rate() > 0.2);
+        assert!(predictable.branch_mispredict_rate() < 0.05);
+    }
+
+    #[test]
+    fn premature_load_squashes_and_refetches() {
+        // The store's data dependence delays it; the same-address load
+        // behind it issues first and reads stale data -> violation.
+        let mut instrs = Vec::new();
+        for i in 0..200u64 {
+            let pc = 0x1000 + (i % 8) * 32;
+            // Long-latency producer feeding the store's address register.
+            instrs.push(
+                Instruction::op(Pc(pc), InstrKind::FpDiv).with_dst(ArchReg::fp(1)),
+            );
+            instrs.push(
+                Instruction::op(Pc(pc + 4), InstrKind::IntAlu)
+                    .with_dst(ArchReg::int(2))
+                    .with_src(ArchReg::int(2)),
+            );
+            // Store waits on the FP producer via its data operand.
+            instrs.push(
+                Instruction::store(Pc(pc + 8), Addr(0x80)).with_src(ArchReg::fp(1)),
+            );
+            instrs.push(Instruction::load(Pc(pc + 12), Addr(0x80)).with_dst(ArchReg::int(4)));
+        }
+        let r = run_instrs(SimConfig::default(), instrs);
+        assert_eq!(r.committed, 800);
+        assert!(r.violation_squashes > 0, "premature loads must be caught");
+        // After the first violations, store-set gating kicks in, so
+        // squashes must be far rarer than iterations.
+        assert!(
+            r.violation_squashes < 50,
+            "store-set must learn the pair ({} squashes)",
+            r.violation_squashes
+        );
+    }
+
+    #[test]
+    fn pair_mode_catches_violations_at_commit() {
+        let mut cfg = SimConfig::default();
+        cfg.lsq.predictor = PredictorKind::Pair;
+        let mut instrs = Vec::new();
+        for i in 0..200u64 {
+            let pc = 0x1000 + (i % 8) * 32;
+            instrs.push(Instruction::op(Pc(pc), InstrKind::FpDiv).with_dst(ArchReg::fp(1)));
+            instrs.push(Instruction::store(Pc(pc + 8), Addr(0x80)).with_src(ArchReg::fp(1)));
+            instrs.push(Instruction::load(Pc(pc + 12), Addr(0x80)).with_dst(ArchReg::int(4)));
+        }
+        let r = run_instrs(cfg, instrs);
+        assert_eq!(r.committed, 600);
+        assert!(r.lsq.commit_violations > 0, "pair mispredictions detected at commit");
+    }
+
+    #[test]
+    fn one_port_is_slower_than_four_ports_under_load_pressure() {
+        // Lots of independent loads: port-starved configs lose throughput.
+        let mut instrs = Vec::new();
+        for i in 0..4000u64 {
+            instrs.push(Instruction::load(
+                Pc(0x1000 + (i % 256) * 4),
+                Addr(0x4000 + (i % 64) * 8),
+            ));
+        }
+        let one = run_instrs(
+            SimConfig::with_lsq(LsqConfig::conventional(1)),
+            instrs.clone(),
+        );
+        let four = run_instrs(SimConfig::with_lsq(LsqConfig::conventional(4)), instrs);
+        assert!(
+            one.cycles > four.cycles * 3 / 2,
+            "1-port {} vs 4-port {}",
+            one.cycles,
+            four.cycles
+        );
+    }
+
+    #[test]
+    fn load_buffer_relieves_lq_port_pressure() {
+        let mut instrs = Vec::new();
+        for i in 0..4000u64 {
+            instrs.push(Instruction::load(
+                Pc(0x1000 + (i % 256) * 4),
+                Addr(0x4000 + (i % 64) * 8),
+            ));
+        }
+        let mut conv = LsqConfig::conventional(1);
+        conv.predictor = PredictorKind::Pair;
+        let base = run_instrs(SimConfig::with_lsq(conv), instrs.clone());
+        let with_lb = run_instrs(SimConfig::with_lsq(LsqConfig::with_techniques(1)), instrs);
+        assert!(
+            with_lb.cycles <= base.cycles,
+            "load buffer must not slow a load-heavy kernel: {} vs {}",
+            with_lb.cycles,
+            base.cycles
+        );
+        assert_eq!(with_lb.lsq.lq_searches_by_loads, 0);
+        assert!(base.lsq.lq_searches_by_loads > 0);
+    }
+
+    #[test]
+    fn finite_stream_drains_completely() {
+        let instrs: Vec<Instruction> = (0..37).map(|i| alu(0x1000 + i * 4)).collect();
+        let mut stream = VecStream::new(instrs);
+        let mut sim = Simulator::new(SimConfig::default());
+        let r = sim.run(&mut stream, 1_000_000);
+        assert_eq!(r.committed, 37);
+        assert!(!r.hit_cycle_cap);
+    }
+
+    #[test]
+    fn run_continues_across_calls() {
+        let instrs: Vec<Instruction> = (0..200).map(|i| alu(0x1000 + i * 4)).collect();
+        let mut stream = VecStream::new(instrs);
+        let mut sim = Simulator::new(SimConfig::default());
+        let first = sim.run(&mut stream, 50);
+        assert!(first.committed >= 50);
+        let second = sim.run(&mut stream, 100);
+        assert!(second.committed >= 150, "committed {}", second.committed);
+    }
+
+    #[test]
+    fn in_order_loads_hurt_a_realistic_workload() {
+        // In-order load issue loses ILP through head-of-line blocking
+        // under latency variance and finite issue-queue pressure, which a
+        // realistic workload (irregular misses + branches) exposes; this
+        // is the Figure 9 left-bars effect.
+        let profile = lsq_trace::BenchProfile::named("parser").unwrap();
+        let run = |lsq: LsqConfig| {
+            let mut stream = profile.stream(5);
+            let mut sim = Simulator::new(SimConfig::with_lsq(lsq));
+            sim.prewarm(&stream.data_regions(), stream.code_region());
+            let _ = sim.run(&mut stream, 20_000);
+            sim.run(&mut stream, 40_000)
+        };
+        let mut in_order = LsqConfig::conventional(2);
+        in_order.load_order = LoadOrderPolicy::InOrderNoSearch;
+        let io = run(in_order);
+        let ooo = run(LsqConfig::conventional(2));
+        assert!(
+            io.cycles as f64 > ooo.cycles as f64 * 1.01,
+            "in-order loads must cost ILP: {} vs {}",
+            io.cycles,
+            ooo.cycles
+        );
+    }
+
+    #[test]
+    fn pair_mode_drains_stores_behind_retirement() {
+        // Store-heavy bursts under the pair scheme: stores retire from
+        // the ROB immediately and drain in the background; everything
+        // still commits and each drained store wrote the cache once.
+        let mut cfg = SimConfig::default();
+        cfg.lsq.predictor = PredictorKind::Pair;
+        let mut instrs = Vec::new();
+        for i in 0..1500u64 {
+            let pc = 0x1000 + (i % 32) * 8;
+            instrs.push(
+                Instruction::store(Pc(pc), Addr(0x40 + (i % 16) * 8))
+                    .with_src(ArchReg::int(1)),
+            );
+            instrs.push(
+                Instruction::op(Pc(pc + 4), InstrKind::IntAlu).with_dst(ArchReg::int(1)),
+            );
+        }
+        let r = run_instrs(cfg, instrs);
+        assert_eq!(r.committed, 3000);
+        assert!(!r.hit_cycle_cap);
+        // All but a small undrained tail of stores drained.
+        assert!(r.lsq.stores_committed + 40 > r.stores_committed);
+        // Every drain performed its commit-time LQ search.
+        assert!(r.lsq.lq_searches_by_stores >= r.lsq.stores_committed);
+    }
+
+    #[test]
+    fn loads_wait_for_older_store_drains() {
+        // At 1 LQ port under the pair scheme, drains are serialized;
+        // loads behind store bursts must still commit in order and
+        // observe forwarding correctly (no lost victims).
+        let mut cfg = SimConfig::default();
+        cfg.lsq = LsqConfig::with_techniques(1);
+        let mut instrs = Vec::new();
+        for i in 0..800u64 {
+            let pc = 0x1000 + (i % 16) * 16;
+            instrs.push(Instruction::store(Pc(pc), Addr(0x100)).with_src(ArchReg::int(2)));
+            instrs.push(Instruction::store(Pc(pc + 4), Addr(0x108)).with_src(ArchReg::int(2)));
+            instrs.push(Instruction::load(Pc(pc + 8), Addr(0x100)).with_dst(ArchReg::int(3)));
+            instrs.push(
+                Instruction::op(Pc(pc + 12), InstrKind::IntAlu).with_dst(ArchReg::int(2)),
+            );
+        }
+        let r = run_instrs(cfg, instrs);
+        assert_eq!(r.committed, 3200);
+        assert!(!r.hit_cycle_cap);
+    }
+
+    #[test]
+    fn coherence_invalidations_squash_and_recover() {
+        // Multiprocessor scenario (§2.2): invalidations hit outstanding
+        // loads and squash; everything still commits correctly.
+        let mut cfg = SimConfig::default();
+        cfg.invalidation_rate = 0.05;
+        let mut instrs = Vec::new();
+        for i in 0..4000u64 {
+            instrs.push(Instruction::load(
+                Pc(0x1000 + (i % 64) * 4),
+                Addr(0x4000 + (i % 32) * 8),
+            ));
+        }
+        let r = run_instrs(cfg, instrs.clone());
+        assert_eq!(r.committed, 4000);
+        assert!(!r.hit_cycle_cap);
+        assert!(r.lsq.invalidations > 0);
+        assert!(r.lsq.invalidation_squashes > 0, "hot loads must be hit");
+        // The same workload without coherence traffic is faster.
+        let quiet = run_instrs(SimConfig::default(), instrs);
+        assert!(r.cycles > quiet.cycles);
+    }
+
+    #[test]
+    fn load_load_squash_costs_cycles_on_shared_words() {
+        // Alpha-style same-address load-load ordering (§2.2 scheme 1):
+        // with squashing enabled, repeated same-word loads issued out of
+        // order cost squashes.
+        let mut cfg = SimConfig::default();
+        cfg.lsq.load_load_squash = true;
+        let mut instrs = Vec::new();
+        for i in 0..3000u64 {
+            let pc = 0x1000 + (i % 32) * 8;
+            // A slow producer delays the first load's address; the second
+            // load to the same word is independent and issues early.
+            instrs.push(
+                Instruction::op(Pc(pc), InstrKind::IntMul)
+                    .with_dst(ArchReg::int(1))
+                    .with_src(ArchReg::int(1)),
+            );
+            instrs.push(
+                Instruction::load(Pc(pc + 4), Addr(0x80)).with_src(ArchReg::int(1)),
+            );
+            instrs.push(Instruction::load(Pc(pc + 8), Addr(0x80)));
+        }
+        let r = run_instrs(cfg, instrs);
+        assert_eq!(r.committed, 9000);
+        assert!(!r.hit_cycle_cap);
+        assert!(r.lsq.load_load_violations > 0, "OoO same-word loads must trap");
+    }
+
+    #[test]
+    fn occupancy_statistics_are_sampled() {
+        let mut instrs = Vec::new();
+        for i in 0..500u64 {
+            instrs.push(Instruction::load(Pc(0x1000 + i * 4), Addr(0x4000 + (i % 32) * 8)));
+        }
+        let r = run_instrs(SimConfig::default(), instrs);
+        assert!(r.lq_occupancy > 0.0);
+        assert!(r.inflight_loads > 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+#![warn(missing_docs)]
+
+//! Statistics and reporting substrate: counters, running means, bounded
+//! histograms, and plain-text table rendering used by the experiment
+//! binaries to print paper-style rows.
+//!
+//! # Examples
+//!
+//! ```
+//! use lsq_stats::{Histogram, RunningMean};
+//!
+//! let mut occ = RunningMean::new();
+//! occ.record(10.0);
+//! occ.record(20.0);
+//! assert_eq!(occ.mean(), 15.0);
+//!
+//! let mut h = Histogram::new(4);
+//! h.record(1);
+//! h.record(1);
+//! h.record(3);
+//! assert_eq!(h.count(), 3);
+//! assert!((h.fraction(1) - 2.0 / 3.0).abs() < 1e-12);
+//! ```
+
+pub mod hist;
+pub mod table;
+
+pub use hist::{Histogram, RunningMean};
+pub use table::Table;
+
+/// Geometric mean of a slice of positive values; returns `None` when the
+/// slice is empty or contains a non-positive value.
+///
+/// Speedup averages across benchmarks are conventionally geometric means.
+///
+/// # Examples
+///
+/// ```
+/// let g = lsq_stats::geomean(&[1.0, 4.0]).unwrap();
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|v| *v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Arithmetic mean; returns `None` for an empty slice.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Formats a fraction as a signed percentage with one decimal, e.g. `+5.3%`.
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), None);
+        assert_eq!(geomean(&[1.0, 0.0]), None);
+        assert_eq!(geomean(&[1.0, -2.0]), None);
+        let g = geomean(&[2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[3.0]), Some(3.0));
+        assert_eq!(mean(&[1.0, 3.0]), Some(2.0));
+    }
+
+    #[test]
+    fn pct_formats_sign() {
+        assert_eq!(pct(0.053), "+5.3%");
+        assert_eq!(pct(-0.19), "-19.0%");
+        assert_eq!(pct(0.0), "+0.0%");
+    }
+}

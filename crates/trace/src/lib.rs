@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # lsq-trace — synthetic SPEC2K-like workloads
+//!
+//! The paper evaluates on SPEC2K reference runs, which are proprietary.
+//! This crate substitutes a *synthetic workload substrate*: each of the 18
+//! benchmarks in the paper's Table 2 is described by a [`BenchProfile`]
+//! (instruction mix, working-set and access-pattern structure, store-load
+//! dependence behaviour, branch predictability, dependence-chain shape),
+//! which is realised as a deterministic **static program** — basic blocks
+//! of static instructions with stable PCs, loops, and per-instruction
+//! access patterns — and then *executed* by a [`TraceGenerator`] into the
+//! dynamic instruction stream the pipeline consumes.
+//!
+//! Static PC stability is the property that makes the store-set /
+//! store-load pair predictors (and the branch predictor) behave the way
+//! they do on real programs; loops over strided regions are what make the
+//! cache hierarchy and queue-occupancy contrasts (small-footprint INT vs
+//! streaming FP) emerge. See DESIGN.md §2 for the substitution argument.
+//!
+//! # Examples
+//!
+//! ```
+//! use lsq_trace::BenchProfile;
+//! use lsq_isa::InstructionStream;
+//!
+//! let mut stream = BenchProfile::named("mgrid").unwrap().stream(1);
+//! let first = stream.next_instr().unwrap();
+//! assert!(first.pc.0 >= 0x40_0000);
+//! ```
+
+pub mod generator;
+pub mod profile;
+pub mod program;
+
+pub use generator::TraceGenerator;
+pub use profile::BenchProfile;
+pub use program::{AccessPattern, BlockEnd, StaticBlock, StaticInst, StaticProgram};

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Utility substrate for the LSQ reproduction: deterministic pseudo-random
+//! number generation and fixed-capacity queue/ring primitives.
+//!
+//! Everything in the workspace that needs randomness goes through
+//! [`rng::Xoshiro256`] (seeded explicitly), so that every trace, every
+//! simulation, and therefore every reproduced table and figure is
+//! bit-for-bit reproducible across platforms and runs. This is why the
+//! workspace does not depend on the `rand` crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use lsq_util::rng::Xoshiro256;
+//!
+//! let mut a = Xoshiro256::seed_from_u64(42);
+//! let mut b = Xoshiro256::seed_from_u64(42);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! ```
+
+pub mod ring;
+pub mod rng;
+
+pub use ring::RingQueue;
+pub use rng::Xoshiro256;

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # lsq — Reducing Design Complexity of the Load/Store Queue
+//!
+//! A full Rust reproduction of Park, Ooi & Vijaykumar, *Reducing Design
+//! Complexity of the Load/Store Queue* (MICRO-36, 2003): the store-load
+//! pair predictor, the load buffer, and load/store-queue segmentation, on
+//! top of a from-scratch cycle-level out-of-order superscalar simulator
+//! and a synthetic SPEC2K-like workload substrate.
+//!
+//! This facade crate re-exports the workspace crates under one roof:
+//!
+//! * [`core`] (`lsq-core`) — the paper's contribution: LSQ models and
+//!   predictors.
+//! * [`pipeline`] (`lsq-pipeline`) — the out-of-order core.
+//! * [`mem`] (`lsq-mem`) — the cache hierarchy.
+//! * [`trace`] (`lsq-trace`) — the 18 SPEC2K-like synthetic workloads.
+//! * [`experiments`] (`lsq-experiments`) — one runner per paper table and
+//!   figure.
+//! * [`isa`], [`stats`], [`util`] — shared substrates.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lsq::prelude::*;
+//!
+//! // A small run of a synthetic benchmark through the base processor.
+//! let profile = BenchProfile::named("gcc").expect("known benchmark");
+//! let mut stream = profile.stream(1);
+//! let mut sim = Simulator::new(SimConfig::default());
+//! let result = sim.run(&mut stream, 20_000);
+//! assert!(result.ipc() > 0.0);
+//! ```
+
+pub use lsq_core as core;
+pub use lsq_experiments as experiments;
+pub use lsq_isa as isa;
+pub use lsq_mem as mem;
+pub use lsq_pipeline as pipeline;
+pub use lsq_stats as stats;
+pub use lsq_trace as trace;
+pub use lsq_util as util;
+
+/// Common imports for examples and downstream users.
+pub mod prelude {
+    pub use lsq_core::{LsqConfig, PredictorKind, SegAlloc, SegConfig};
+    pub use lsq_isa::{Addr, ArchReg, InstrKind, Instruction, InstructionStream, Pc};
+    pub use lsq_pipeline::{SimConfig, SimResult, Simulator};
+    pub use lsq_trace::BenchProfile;
+}

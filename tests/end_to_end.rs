@@ -1,0 +1,147 @@
+//! Cross-crate integration tests: whole-simulator runs over the synthetic
+//! workloads, checking determinism, accounting invariants, and that every
+//! benchmark and LSQ design point drives to completion.
+
+use lsq::core::{LoadOrderPolicy, LsqConfig, PredictorKind, SegAlloc};
+use lsq::prelude::*;
+
+fn run(bench: &str, lsq_cfg: LsqConfig, instrs: u64, seed: u64) -> lsq::pipeline::SimResult {
+    let profile = BenchProfile::named(bench).expect("known benchmark");
+    let mut stream = profile.stream(seed);
+    let mut sim = Simulator::new(SimConfig::with_lsq(lsq_cfg));
+    sim.prewarm(&stream.data_regions(), stream.code_region());
+    sim.run(&mut stream, instrs)
+}
+
+#[test]
+fn identical_runs_are_bit_deterministic() {
+    let a = run("gcc", LsqConfig::default(), 8_000, 3);
+    let b = run("gcc", LsqConfig::default(), 8_000, 3);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.committed, b.committed);
+    assert_eq!(a.lsq.sq_searches, b.lsq.sq_searches);
+    assert_eq!(a.violation_squashes, b.violation_squashes);
+    assert_eq!(a.branch_mispredictions, b.branch_mispredictions);
+}
+
+#[test]
+fn different_dynamic_seeds_differ() {
+    let a = run("gcc", LsqConfig::default(), 8_000, 1);
+    let b = run("gcc", LsqConfig::default(), 8_000, 2);
+    assert_ne!(
+        (a.cycles, a.lsq.sq_searches),
+        (b.cycles, b.lsq.sq_searches),
+        "dynamic randomness must vary with the seed"
+    );
+}
+
+#[test]
+fn every_benchmark_completes_on_base_config() {
+    for p in BenchProfile::all() {
+        let r = run(p.name, LsqConfig::default(), 3_000, 1);
+        assert!(r.committed >= 3_000, "{} committed {}", p.name, r.committed);
+        assert!(!r.hit_cycle_cap, "{} hit the cycle cap", p.name);
+        assert!(r.ipc() > 0.02, "{} ipc {}", p.name, r.ipc());
+    }
+}
+
+#[test]
+fn every_design_point_completes() {
+    let designs = [
+        LsqConfig::conventional(1),
+        LsqConfig::conventional(4),
+        LsqConfig { predictor: PredictorKind::Perfect, ..LsqConfig::default() },
+        LsqConfig { predictor: PredictorKind::Aggressive, ..LsqConfig::default() },
+        LsqConfig { predictor: PredictorKind::Pair, ..LsqConfig::default() },
+        LsqConfig { load_order: LoadOrderPolicy::InOrderAlwaysSearch, ..LsqConfig::default() },
+        LsqConfig { load_order: LoadOrderPolicy::InOrderNoSearch, ..LsqConfig::default() },
+        LsqConfig { load_order: LoadOrderPolicy::LoadBuffer(2), ..LsqConfig::default() },
+        LsqConfig::segmented(SegAlloc::NoSelfCircular),
+        LsqConfig::segmented(SegAlloc::SelfCircular),
+        LsqConfig::with_techniques(1),
+        LsqConfig::all_techniques_one_port(),
+    ];
+    for (i, d) in designs.into_iter().enumerate() {
+        let r = run("twolf", d, 4_000, 1);
+        assert!(r.committed >= 4_000, "design {i} committed {}", r.committed);
+        assert!(!r.hit_cycle_cap, "design {i} deadlocked");
+    }
+}
+
+#[test]
+fn scaled_processor_completes() {
+    let profile = BenchProfile::named("mesa").unwrap();
+    let mut stream = profile.stream(1);
+    let mut sim = Simulator::new(SimConfig::scaled(LsqConfig::all_techniques_one_port()));
+    sim.prewarm(&stream.data_regions(), stream.code_region());
+    let r = sim.run(&mut stream, 5_000);
+    assert!(r.committed >= 5_000);
+    assert!(!r.hit_cycle_cap);
+}
+
+#[test]
+fn committed_mix_matches_profile() {
+    let p = BenchProfile::named("vortex").unwrap();
+    let r = run("vortex", LsqConfig::default(), 20_000, 1);
+    let loads = r.loads_committed as f64 / r.committed as f64;
+    let stores = r.stores_committed as f64 / r.committed as f64;
+    assert!((loads - p.loads).abs() < 0.06, "load mix {loads:.3} vs {:.3}", p.loads);
+    assert!((stores - p.stores).abs() < 0.06, "store mix {stores:.3} vs {:.3}", p.stores);
+}
+
+#[test]
+fn accounting_invariants_hold() {
+    let r = run("gzip", LsqConfig::default(), 15_000, 1);
+    // Every committed load/store was dispatched at least once.
+    assert!(r.lsq.loads_dispatched >= r.loads_committed);
+    assert!(r.lsq.stores_dispatched >= r.stores_committed);
+    // In the conventional scheme every issued load searches both queues.
+    assert_eq!(r.lsq.sq_searches, r.lsq.loads_issued);
+    assert_eq!(r.lsq.lq_searches_by_loads, r.lsq.loads_issued);
+    // Forwarding hits are a subset of searches.
+    assert!(r.lsq.sq_search_hits <= r.lsq.sq_searches);
+    // Stores drain once each; at most a handful retired at run end are
+    // still waiting in the store queue to drain.
+    assert!(r.lsq.stores_committed <= r.stores_committed);
+    assert!(r.stores_committed - r.lsq.stores_committed < 40);
+    // Occupancies stay within the configured capacity.
+    assert!(r.lq_occupancy <= 32.0);
+    assert!(r.sq_occupancy <= 32.0);
+}
+
+#[test]
+fn squashed_work_is_refetched_exactly() {
+    // Violations cause squash-and-refetch; dispatched > committed, but
+    // the committed stream length is exactly the requested budget.
+    let mut cfg = LsqConfig::default();
+    cfg.predictor = PredictorKind::Aggressive; // provokes squashes
+    let r = run("vortex", cfg, 20_000, 1);
+    assert!(r.committed >= 20_000);
+    if r.violation_squashes > 0 {
+        assert!(r.lsq.loads_dispatched > r.loads_committed);
+    }
+}
+
+#[test]
+fn load_buffer_eliminates_load_queue_searches_by_loads() {
+    let mut cfg = LsqConfig::default();
+    cfg.load_order = LoadOrderPolicy::LoadBuffer(2);
+    let r = run("mgrid", cfg, 10_000, 1);
+    assert_eq!(r.lsq.lq_searches_by_loads, 0);
+    assert!(r.lsq.lb_searches > 0);
+    assert!(r.lsq.lq_searches_by_stores > 0, "store violation searches remain");
+}
+
+#[test]
+fn pair_predictor_cuts_store_queue_searches() {
+    let base = run("mgrid", LsqConfig::default(), 15_000, 1);
+    let mut cfg = LsqConfig::default();
+    cfg.predictor = PredictorKind::Pair;
+    let pair = run("mgrid", cfg, 15_000, 1);
+    assert!(
+        (pair.lsq.sq_searches as f64) < 0.7 * base.lsq.sq_searches as f64,
+        "pair {} vs base {}",
+        pair.lsq.sq_searches,
+        base.lsq.sq_searches
+    );
+}
