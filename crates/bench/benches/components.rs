@@ -71,9 +71,10 @@ fn load_buffer(c: &mut Criterion) {
 fn segmentation(c: &mut Criterion) {
     let mut g = c.benchmark_group("segmentation");
     g.throughput(Throughput::Elements(OPS));
-    for (label, alloc) in
-        [("self_circular", SegAlloc::SelfCircular), ("no_self_circular", SegAlloc::NoSelfCircular)]
-    {
+    for (label, alloc) in [
+        ("self_circular", SegAlloc::SelfCircular),
+        ("no_self_circular", SegAlloc::NoSelfCircular),
+    ] {
         g.bench_function(format!("alloc_free/{label}"), |b| {
             b.iter(|| {
                 let mut a = SegmentedAlloc::new(4, 28, alloc);
@@ -152,5 +153,12 @@ fn ring_queue(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(components, predictor, load_buffer, segmentation, caches, ring_queue);
+criterion_group!(
+    components,
+    predictor,
+    load_buffer,
+    segmentation,
+    caches,
+    ring_queue
+);
 criterion_main!(components);

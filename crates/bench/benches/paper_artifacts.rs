@@ -11,7 +11,11 @@ use lsq_experiments::RunSpec;
 use std::hint::black_box;
 
 /// Small budget so a full `cargo bench` pass stays in minutes.
-const SPEC: RunSpec = RunSpec { warmup: 2_000, instrs: 6_000, seed: 1 };
+const SPEC: RunSpec = RunSpec {
+    warmup: 2_000,
+    instrs: 6_000,
+    seed: 1,
+};
 
 macro_rules! artifact_bench {
     ($fn_name:ident, $exp:ident, $rows:expr) => {
@@ -56,19 +60,7 @@ artifact_bench!(table6, table6, 18);
 artifact_bench!(fig12, fig12, 18);
 
 criterion_group!(
-    artifacts,
-    table1,
-    table2,
-    fig6,
-    fig7,
-    table3,
-    fig8,
-    table4,
-    fig9,
-    fig10,
-    fig11,
-    table5,
-    table6,
-    fig12
+    artifacts, table1, table2, fig6, fig7, table3, fig8, table4, fig9, fig10, fig11, table5,
+    table6, fig12
 );
 criterion_main!(artifacts);

@@ -35,7 +35,12 @@ fn sim_throughput(c: &mut Criterion) {
         b.iter(|| black_box(run_once("gcc", LsqConfig::with_techniques(1))))
     });
     g.bench_function("gcc/segmented_sc", |b| {
-        b.iter(|| black_box(run_once("gcc", LsqConfig::segmented(SegAlloc::SelfCircular))))
+        b.iter(|| {
+            black_box(run_once(
+                "gcc",
+                LsqConfig::segmented(SegAlloc::SelfCircular),
+            ))
+        })
     });
     g.bench_function("gcc/all_techniques", |b| {
         b.iter(|| black_box(run_once("gcc", LsqConfig::all_techniques_one_port())))

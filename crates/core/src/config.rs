@@ -65,7 +65,10 @@ impl PredictorKind {
 
     /// Whether this predictor uses the realistic (aliasing) tables.
     pub fn uses_real_tables(self) -> bool {
-        matches!(self, PredictorKind::None | PredictorKind::Perfect | PredictorKind::Pair)
+        matches!(
+            self,
+            PredictorKind::None | PredictorKind::Perfect | PredictorKind::Pair
+        )
     }
 }
 
@@ -93,12 +96,18 @@ pub enum LoadOrderPolicy {
 impl LoadOrderPolicy {
     /// Whether loads are forced to issue in program order among loads.
     pub fn in_order(self) -> bool {
-        matches!(self, LoadOrderPolicy::InOrderAlwaysSearch | LoadOrderPolicy::InOrderNoSearch)
+        matches!(
+            self,
+            LoadOrderPolicy::InOrderAlwaysSearch | LoadOrderPolicy::InOrderNoSearch
+        )
     }
 
     /// Whether an executing load consumes a load-queue search port.
     pub fn searches_lq(self) -> bool {
-        matches!(self, LoadOrderPolicy::SearchLoadQueue | LoadOrderPolicy::InOrderAlwaysSearch)
+        matches!(
+            self,
+            LoadOrderPolicy::SearchLoadQueue | LoadOrderPolicy::InOrderAlwaysSearch
+        )
     }
 
     /// Load-buffer capacity, if the load-buffer mechanism is active.
@@ -140,7 +149,11 @@ pub struct SegConfig {
 impl SegConfig {
     /// The paper's evaluated design: four 28-entry segments (112 total).
     pub fn paper(alloc: SegAlloc) -> Self {
-        Self { segments: 4, entries_per_segment: 28, alloc }
+        Self {
+            segments: 4,
+            entries_per_segment: 28,
+            alloc,
+        }
     }
 
     /// Total capacity across segments.
@@ -150,7 +163,10 @@ impl SegConfig {
 }
 
 /// A complete LSQ design point.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Hashable so the experiment engine can use a design point as part of
+/// its result-cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LsqConfig {
     /// Load-queue capacity when unsegmented (paper base: 32).
     pub lq_entries: usize,
@@ -206,7 +222,10 @@ impl Default for LsqConfig {
 impl LsqConfig {
     /// The conventional base case with a given number of ports.
     pub fn conventional(ports: usize) -> Self {
-        Self { ports, ..Self::default() }
+        Self {
+            ports,
+            ..Self::default()
+        }
     }
 
     /// Both §2 bandwidth-reduction techniques on a queue with the given
@@ -222,7 +241,10 @@ impl LsqConfig {
 
     /// Segmentation alone on the conventional queue (Figure 11).
     pub fn segmented(alloc: SegAlloc) -> Self {
-        Self { segmentation: Some(SegConfig::paper(alloc)), ..Self::default() }
+        Self {
+            segmentation: Some(SegConfig::paper(alloc)),
+            ..Self::default()
+        }
     }
 
     /// All three techniques on a one-ported queue (Figure 12): pair
@@ -239,12 +261,14 @@ impl LsqConfig {
 
     /// Effective load-queue capacity (accounting for segmentation).
     pub fn lq_capacity(&self) -> usize {
-        self.segmentation.map_or(self.lq_entries, |s| s.total_entries())
+        self.segmentation
+            .map_or(self.lq_entries, |s| s.total_entries())
     }
 
     /// Effective store-queue capacity (accounting for segmentation).
     pub fn sq_capacity(&self) -> usize {
-        self.segmentation.map_or(self.sq_entries, |s| s.total_entries())
+        self.segmentation
+            .map_or(self.sq_entries, |s| s.total_entries())
     }
 
     /// Number of segments (1 when unsegmented).
@@ -266,14 +290,18 @@ impl LsqConfig {
             return Err(ConfigError::new("search ports must be non-zero"));
         }
         if self.ssit_entries == 0 || !self.ssit_entries.is_power_of_two() {
-            return Err(ConfigError::new("SSIT entries must be a non-zero power of two"));
+            return Err(ConfigError::new(
+                "SSIT entries must be a non-zero power of two",
+            ));
         }
         if self.lfst_entries == 0 {
             return Err(ConfigError::new("LFST entries must be non-zero"));
         }
         if let Some(seg) = &self.segmentation {
             if seg.segments == 0 || seg.entries_per_segment == 0 {
-                return Err(ConfigError::new("segments and entries per segment must be non-zero"));
+                return Err(ConfigError::new(
+                    "segments and entries per segment must be non-zero",
+                ));
             }
         }
         Ok(())
@@ -281,6 +309,7 @@ impl LsqConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // tests mutate one field of a default config
 mod tests {
     use super::*;
 
@@ -357,7 +386,12 @@ mod tests {
 
     #[test]
     fn config_error_is_a_real_error_type() {
-        let e = LsqConfig { ports: 0, ..LsqConfig::default() }.validate().unwrap_err();
+        let e = LsqConfig {
+            ports: 0,
+            ..LsqConfig::default()
+        }
+        .validate()
+        .unwrap_err();
         let msg = format!("{e}");
         assert!(msg.contains("invalid configuration"));
         assert!(msg.contains("ports"));
@@ -378,7 +412,11 @@ mod tests {
         c.ssit_entries = 1000; // not a power of two
         assert!(c.validate().is_err());
         let mut c = LsqConfig::segmented(SegAlloc::SelfCircular);
-        c.segmentation = Some(SegConfig { segments: 0, entries_per_segment: 28, alloc: SegAlloc::SelfCircular });
+        c.segmentation = Some(SegConfig {
+            segments: 0,
+            entries_per_segment: 28,
+            alloc: SegAlloc::SelfCircular,
+        });
         assert!(c.validate().is_err());
     }
 }

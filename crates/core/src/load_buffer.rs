@@ -102,7 +102,12 @@ impl LoadBuffer {
     /// Panics (debug) if `seq` is not younger than every tracked load.
     pub fn on_dispatch(&mut self, seq: u64, addr: Addr) {
         debug_assert!(self.loads.back().is_none_or(|l| l.seq < seq));
-        self.loads.push_back(TrackedLoad { seq, addr, issued: false, buffered: false });
+        self.loads.push_back(TrackedLoad {
+            seq,
+            addr,
+            issued: false,
+            buffered: false,
+        });
     }
 
     /// Oldest *buffered* load younger than `seq` reading the same word —
@@ -153,7 +158,10 @@ impl LoadBuffer {
                 }
             }
             self.total_searches += u64::from(searches);
-            LbIssue::InOrder { searches, violation }
+            LbIssue::InOrder {
+                searches,
+                violation,
+            }
         } else {
             if self.buffered == self.capacity {
                 return LbIssue::Full;
@@ -221,7 +229,10 @@ mod tests {
     fn in_order_issue_never_buffers() {
         let mut lb = with_loads(2, 3);
         for seq in 0..3 {
-            assert!(matches!(lb.try_issue(seq), LbIssue::InOrder { searches: 1, .. }));
+            assert!(matches!(
+                lb.try_issue(seq),
+                LbIssue::InOrder { searches: 1, .. }
+            ));
         }
         assert_eq!(lb.occupancy(), 0);
         assert_eq!(lb.searches(), 3);
@@ -233,7 +244,11 @@ mod tests {
         assert_eq!(lb.nilp(), Some(0));
         assert!(matches!(lb.try_issue(2), LbIssue::Buffered { .. }));
         assert_eq!(lb.occupancy(), 1);
-        assert_eq!(lb.nilp(), Some(0), "NILP stays at the oldest non-issued load");
+        assert_eq!(
+            lb.nilp(),
+            Some(0),
+            "NILP stays at the oldest non-issued load"
+        );
     }
 
     #[test]
@@ -248,14 +263,23 @@ mod tests {
         assert_eq!(lb.occupancy(), 2);
         assert_eq!(lb.nilp(), Some(2));
         // C issues in order: searches the buffer (E, G still buffered).
-        assert!(matches!(lb.try_issue(2), LbIssue::InOrder { searches: 1, .. }));
+        assert!(matches!(
+            lb.try_issue(2),
+            LbIssue::InOrder { searches: 1, .. }
+        ));
         assert_eq!(lb.occupancy(), 2, "E still has older non-issued D");
         // D issues: NILP advances past E (releasing it, +1 search) and
         // stops at F (5, unissued).
-        assert!(matches!(lb.try_issue(3), LbIssue::InOrder { searches: 2, .. }));
+        assert!(matches!(
+            lb.try_issue(3),
+            LbIssue::InOrder { searches: 2, .. }
+        ));
         assert_eq!(lb.occupancy(), 1, "only G remains buffered");
         // F issues: NILP passes G, releasing it.
-        assert!(matches!(lb.try_issue(5), LbIssue::InOrder { searches: 2, .. }));
+        assert!(matches!(
+            lb.try_issue(5),
+            LbIssue::InOrder { searches: 2, .. }
+        ));
         assert_eq!(lb.occupancy(), 0);
     }
 
@@ -267,11 +291,20 @@ mod tests {
         assert_eq!(lb.occupancy(), 1);
         // Load 0 issues (NILP target); NILP advances to 1; load 2 still
         // buffered because load 1 is unissued.
-        assert!(matches!(lb.try_issue(0), LbIssue::InOrder { searches: 1, .. }));
+        assert!(matches!(
+            lb.try_issue(0),
+            LbIssue::InOrder { searches: 1, .. }
+        ));
         assert_eq!(lb.try_issue(3), LbIssue::Full);
         // Load 1 issues; NILP passes 2 (released) and stops at 3.
-        assert!(matches!(lb.try_issue(1), LbIssue::InOrder { searches: 2, .. }));
-        assert!(matches!(lb.try_issue(3), LbIssue::InOrder { searches: 1, .. }));
+        assert!(matches!(
+            lb.try_issue(1),
+            LbIssue::InOrder { searches: 2, .. }
+        ));
+        assert!(matches!(
+            lb.try_issue(3),
+            LbIssue::InOrder { searches: 1, .. }
+        ));
     }
 
     #[test]

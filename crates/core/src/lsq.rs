@@ -257,7 +257,15 @@ impl Lsq {
         assert!(self.sq.back().is_none_or(|e| e.seq < seq), "program order");
         let place = self.sq_alloc.allocate().expect("store queue full");
         let ssid = self.pred.on_store_fetch(pc, seq);
-        self.sq.push_back(SqEntry { seq, pc, addr, issued: false, retired: false, place, ssid });
+        self.sq.push_back(SqEntry {
+            seq,
+            pc,
+            addr,
+            issued: false,
+            retired: false,
+            place,
+            ssid,
+        });
         self.stats.stores_dispatched += 1;
     }
 
@@ -287,7 +295,9 @@ impl Lsq {
     /// Whether the oracle sees any older in-flight store to the same word
     /// (the perfect predictor's decision).
     fn oracle_dependent(&self, load_seq: u64, addr: Addr) -> bool {
-        self.sq.iter().any(|s| s.seq < load_seq && s.addr.same_word(addr))
+        self.sq
+            .iter()
+            .any(|s| s.seq < load_seq && s.addr.same_word(addr))
     }
 
     /// The segment path of a forwarding search: distinct segments of
@@ -383,9 +393,7 @@ impl Lsq {
         }
 
         // 2. In-order load policies gate on older unissued loads.
-        if self.cfg.load_order.in_order()
-            && self.lq.iter().take(idx).any(|l| !l.issued)
-        {
+        if self.cfg.load_order.in_order() && self.lq.iter().take(idx).any(|l| !l.issued) {
             self.stats.in_order_stalls += 1;
             return LoadIssue::InOrderStall;
         }
@@ -450,7 +458,10 @@ impl Lsq {
         if let Some(lb) = &mut self.lb {
             match lb.try_issue(seq) {
                 LbIssue::Full => unreachable!("checked above"),
-                LbIssue::InOrder { searches, violation } => {
+                LbIssue::InOrder {
+                    searches,
+                    violation,
+                } => {
                     self.stats.lb_searches += u64::from(searches);
                     load_order_violation = violation;
                 }
@@ -529,8 +540,8 @@ impl Lsq {
         let addr = self.sq[idx].addr;
 
         // Conventional/perfect schemes: violation search at execute.
-        let scan = (!self.cfg.predictor.detects_at_commit())
-            .then(|| self.lq_violation_scan(seq, addr));
+        let scan =
+            (!self.cfg.predictor.detects_at_commit()).then(|| self.lq_violation_scan(seq, addr));
         if let Some((path, _)) = &scan {
             if !self.lq_ports.can_book(path) {
                 self.stats.lq_port_stalls += 1;
@@ -617,7 +628,9 @@ impl Lsq {
     /// The caller performs the cache write of the returned address and
     /// charges the d-cache port.
     pub fn drain_store(&mut self) -> StoreDrain {
-        let Some(front) = self.sq.front().copied() else { return StoreDrain::Idle };
+        let Some(front) = self.sq.front().copied() else {
+            return StoreDrain::Idle;
+        };
         if !front.retired {
             return StoreDrain::Idle;
         }
@@ -643,15 +656,23 @@ impl Lsq {
         if let Some(victim) = violation {
             self.record_violation(victim, front.pc, true);
         }
-        StoreDrain::Drained { seq: front.seq, addr: front.addr, violation }
+        StoreDrain::Drained {
+            seq: front.seq,
+            addr: front.addr,
+            violation,
+        }
     }
 
     /// Address of the `n`-th (mod count) currently issued in-flight
     /// load, if any — used by coherence-traffic injectors to target words
     /// another processor would plausibly write (shared data being read).
     pub fn nth_issued_load_addr(&self, n: usize) -> Option<Addr> {
-        let issued: Vec<Addr> =
-            self.lq.iter().filter(|l| l.issued).map(|l| l.addr).collect();
+        let issued: Vec<Addr> = self
+            .lq
+            .iter()
+            .filter(|l| l.issued)
+            .map(|l| l.addr)
+            .collect();
         if issued.is_empty() {
             None
         } else {
@@ -766,6 +787,7 @@ impl Lsq {
 }
 
 #[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // tests mutate one field of a default config
 mod tests {
     use super::*;
     use crate::config::{LoadOrderPolicy, SegAlloc, SegConfig};
@@ -797,11 +819,21 @@ mod tests {
         disp_store(&mut l, 0, 0x100);
         disp_store(&mut l, 1, 0x100);
         disp_load(&mut l, 2, 0x100);
-        assert!(matches!(l.store_issue(0), StoreIssue::Issued { violation: None }));
-        assert!(matches!(l.store_issue(1), StoreIssue::Issued { violation: None }));
+        assert!(matches!(
+            l.store_issue(0),
+            StoreIssue::Issued { violation: None }
+        ));
+        assert!(matches!(
+            l.store_issue(1),
+            StoreIssue::Issued { violation: None }
+        ));
         l.begin_cycle();
         let i = issue_load(&mut l, 2);
-        assert_eq!(i.forwarded_from, Some(1), "youngest older matching store wins");
+        assert_eq!(
+            i.forwarded_from,
+            Some(1),
+            "youngest older matching store wins"
+        );
         assert!(i.searched_sq);
         assert_eq!(l.stats().sq_search_hits, 1);
     }
@@ -862,7 +894,10 @@ mod tests {
         issue_load(&mut l, 1); // no older store in flight: free to go
         l.commit_load(1);
         l.store_retire(0);
-        assert!(matches!(l.drain_store(), StoreDrain::Drained { seq: 0, .. }));
+        assert!(matches!(
+            l.drain_store(),
+            StoreDrain::Drained { seq: 0, .. }
+        ));
         l.begin_cycle();
         l.dispatch_store(2, Pc(0x2000), Addr(0x200));
         l.dispatch_load(3, Pc(0x3000), Addr(0x200));
@@ -872,7 +907,10 @@ mod tests {
         }
         // Store executes; the load may now issue and forwards.
         l.begin_cycle();
-        assert!(matches!(l.store_issue(2), StoreIssue::Issued { violation: None }));
+        assert!(matches!(
+            l.store_issue(2),
+            StoreIssue::Issued { violation: None }
+        ));
         l.begin_cycle();
         let i = issue_load(&mut l, 3);
         assert_eq!(i.forwarded_from, Some(2));
@@ -919,7 +957,10 @@ mod tests {
         l.begin_cycle();
         disp_store(&mut l, 0, 0x100);
         disp_load(&mut l, 1, 0x500); // unrelated address, untrained PC
-        assert!(matches!(l.store_issue(0), StoreIssue::Issued { violation: None }));
+        assert!(matches!(
+            l.store_issue(0),
+            StoreIssue::Issued { violation: None }
+        ));
         let i = issue_load(&mut l, 1);
         assert!(!i.searched_sq, "untrained load skips the SQ search");
         assert_eq!(l.stats().sq_searches, 0);
@@ -933,7 +974,10 @@ mod tests {
         l.begin_cycle();
         l.dispatch_store(0, Pc(0x2000), Addr(0x100));
         l.dispatch_load(1, Pc(0x3000), Addr(0x100));
-        assert!(matches!(l.store_issue(0), StoreIssue::Issued { violation: None }));
+        assert!(matches!(
+            l.store_issue(0),
+            StoreIssue::Issued { violation: None }
+        ));
         // The load is untrained, skips its search, misses the forwarding.
         let i = issue_load(&mut l, 1);
         assert!(!i.searched_sq);
@@ -1027,7 +1071,10 @@ mod tests {
 
     #[test]
     fn in_order_policies_stall_younger_loads() {
-        for policy in [LoadOrderPolicy::InOrderAlwaysSearch, LoadOrderPolicy::InOrderNoSearch] {
+        for policy in [
+            LoadOrderPolicy::InOrderAlwaysSearch,
+            LoadOrderPolicy::InOrderNoSearch,
+        ] {
             let mut cfg = LsqConfig::default();
             cfg.load_order = policy;
             let mut l = lsq(cfg);
@@ -1112,8 +1159,11 @@ mod tests {
     #[test]
     fn segmented_forwarding_latency_grows_with_distance() {
         let mut cfg = LsqConfig::default();
-        cfg.segmentation =
-            Some(SegConfig { segments: 4, entries_per_segment: 4, alloc: SegAlloc::NoSelfCircular });
+        cfg.segmentation = Some(SegConfig {
+            segments: 4,
+            entries_per_segment: 4,
+            alloc: SegAlloc::NoSelfCircular,
+        });
         let mut l = lsq(cfg);
         l.begin_cycle();
         // Fill two segments of the SQ with non-matching stores, with the
@@ -1137,8 +1187,11 @@ mod tests {
     #[test]
     fn segmented_search_within_one_segment_keeps_early_wakeup() {
         let mut cfg = LsqConfig::default();
-        cfg.segmentation =
-            Some(SegConfig { segments: 4, entries_per_segment: 8, alloc: SegAlloc::SelfCircular });
+        cfg.segmentation = Some(SegConfig {
+            segments: 4,
+            entries_per_segment: 8,
+            alloc: SegAlloc::SelfCircular,
+        });
         let mut l = lsq(cfg);
         l.begin_cycle();
         disp_store(&mut l, 0, 0x100);
@@ -1153,8 +1206,11 @@ mod tests {
     #[test]
     fn segmented_capacity_is_total_across_segments() {
         let mut cfg = LsqConfig::default();
-        cfg.segmentation =
-            Some(SegConfig { segments: 4, entries_per_segment: 28, alloc: SegAlloc::SelfCircular });
+        cfg.segmentation = Some(SegConfig {
+            segments: 4,
+            entries_per_segment: 28,
+            alloc: SegAlloc::SelfCircular,
+        });
         let mut l = lsq(cfg);
         l.begin_cycle();
         for s in 0..112 {
@@ -1182,7 +1238,13 @@ mod tests {
         assert_eq!(l.drain_store(), StoreDrain::Blocked);
         assert_eq!(l.stats().commit_port_delays, 1);
         l.begin_cycle();
-        assert!(matches!(l.drain_store(), StoreDrain::Drained { violation: None, .. }));
+        assert!(matches!(
+            l.drain_store(),
+            StoreDrain::Drained {
+                violation: None,
+                ..
+            }
+        ));
         assert_eq!(l.drain_store(), StoreDrain::Idle);
     }
 
@@ -1195,7 +1257,7 @@ mod tests {
         l.begin_cycle();
         disp_load(&mut l, 0, 0x100);
         disp_load(&mut l, 1, 0x100); // same word, younger
-        // Younger load issues first (out of order).
+                                     // Younger load issues first (out of order).
         issue_load(&mut l, 1);
         // The older load's LQ search finds the premature younger load.
         let i = issue_load(&mut l, 0);
@@ -1229,7 +1291,11 @@ mod tests {
         disp_load(&mut l, 1, 0x100);
         issue_load(&mut l, 1); // buffered, out of order
         let i = issue_load(&mut l, 0); // NILP target searches the buffer
-        assert_eq!(i.load_order_violation, Some(1), "buffer search finds the victim");
+        assert_eq!(
+            i.load_order_violation,
+            Some(1),
+            "buffer search finds the victim"
+        );
     }
 
     #[test]
@@ -1240,7 +1306,11 @@ mod tests {
         disp_load(&mut l, 1, 0x200);
         issue_load(&mut l, 0);
         // Another processor writes 0x100: the outstanding load is hit.
-        assert_eq!(l.invalidate(Addr(0x104)), Some(0), "same-word invalidation hits");
+        assert_eq!(
+            l.invalidate(Addr(0x104)),
+            Some(0),
+            "same-word invalidation hits"
+        );
         assert_eq!(l.invalidate(Addr(0x300)), None, "unrelated word misses");
         assert_eq!(l.stats().invalidations, 2);
         assert_eq!(l.stats().invalidation_squashes, 1);
@@ -1264,7 +1334,9 @@ mod tests {
         let _ = l.load_issue(1); // untrained: skips the search, reads stale data
         l.store_retire(0);
         match l.drain_store() {
-            StoreDrain::Drained { violation: Some(v), .. } => {
+            StoreDrain::Drained {
+                violation: Some(v), ..
+            } => {
                 l.squash_from(v);
             }
             other => panic!("expected violation, got {other:?}"),

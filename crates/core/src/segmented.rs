@@ -110,7 +110,10 @@ impl SegmentedAlloc {
                 self.slots[slot] = true;
                 self.tail_pos = (self.tail_pos + 1) % self.slots.len();
                 self.occupied += 1;
-                Some(Placement { segment: slot / self.per_segment, slot })
+                Some(Placement {
+                    segment: slot / self.per_segment,
+                    slot,
+                })
             }
             SegAlloc::SelfCircular => {
                 // Stay in the current segment while it has free entries;
@@ -121,7 +124,10 @@ impl SegmentedAlloc {
                         self.free[seg] -= 1;
                         self.cur_seg = seg;
                         self.occupied += 1;
-                        return Some(Placement { segment: seg, slot: seg * self.per_segment });
+                        return Some(Placement {
+                            segment: seg,
+                            slot: seg * self.per_segment,
+                        });
                     }
                 }
                 None
@@ -186,7 +192,10 @@ impl PortBook {
     ///
     /// Panics if `ports` or `segments` is zero.
     pub fn new(segments: usize, ports: usize) -> Self {
-        assert!(ports > 0 && segments > 0, "ports and segments must be non-zero");
+        assert!(
+            ports > 0 && segments > 0,
+            "ports and segments must be non-zero"
+        );
         Self {
             ports,
             segments,
@@ -214,7 +223,10 @@ impl PortBook {
     /// Panics if the path is longer than the window (searches are at most
     /// `segments` long) or names an out-of-range segment.
     pub fn can_book(&self, path: &[usize]) -> bool {
-        assert!(path.len() <= self.window.len(), "search longer than segment chain");
+        assert!(
+            path.len() <= self.window.len(),
+            "search longer than segment chain"
+        );
         path.iter()
             .enumerate()
             .all(|(offset, &seg)| self.window[offset][seg] < self.ports)
@@ -267,7 +279,10 @@ mod tests {
         fn fills_segments_linearly() {
             let mut a = SegmentedAlloc::new(2, 2, SegAlloc::NoSelfCircular);
             let p: Vec<_> = (0..4).map(|_| a.allocate().unwrap()).collect();
-            assert_eq!(p.iter().map(|p| p.segment).collect::<Vec<_>>(), [0, 0, 1, 1]);
+            assert_eq!(
+                p.iter().map(|p| p.segment).collect::<Vec<_>>(),
+                [0, 0, 1, 1]
+            );
             assert!(!a.can_allocate());
             assert!(a.allocate().is_none());
         }
@@ -292,7 +307,10 @@ mod tests {
             // despite capacity existing only at... nowhere else. Free p3
             // and confirm the ring still stalls because tail points at 1.
             a.free(p3);
-            assert!(!a.can_allocate(), "ring blocked on live slot 1 though slot 3 is free");
+            assert!(
+                !a.can_allocate(),
+                "ring blocked on live slot 1 though slot 3 is free"
+            );
         }
 
         #[test]
@@ -313,7 +331,10 @@ mod tests {
                 segments_used.insert(new.segment);
                 live.push_back(new);
             }
-            assert!(segments_used.len() >= 2, "entries should spread across segments");
+            assert!(
+                segments_used.len() >= 2,
+                "entries should spread across segments"
+            );
         }
 
         #[test]
@@ -325,7 +346,13 @@ mod tests {
             // Squash the two youngest.
             a.free(p2);
             a.free(p1);
-            a.rewind_after_squash(Some(p1), Some(Placement { segment: 0, slot: 0 }));
+            a.rewind_after_squash(
+                Some(p1),
+                Some(Placement {
+                    segment: 0,
+                    slot: 0,
+                }),
+            );
             let again = a.allocate().unwrap();
             assert_eq!(again.slot, p1.slot, "refetch reuses the squashed slot");
         }
@@ -388,7 +415,11 @@ mod tests {
             a.free(p2);
             a.free(p1);
             a.rewind_after_squash(Some(p1), Some(p0));
-            assert_eq!(a.allocate().unwrap().segment, 0, "allocation resumes in segment 0");
+            assert_eq!(
+                a.allocate().unwrap().segment,
+                0,
+                "allocation resumes in segment 0"
+            );
         }
     }
 

@@ -75,7 +75,12 @@ impl StoreSetPredictor {
     ///
     /// Panics if `ssit_entries` is not a non-zero power of two or
     /// `lfst_entries` is zero.
-    pub fn new(ssit_entries: usize, lfst_entries: usize, counter_max: u8, alias_free: bool) -> Self {
+    pub fn new(
+        ssit_entries: usize,
+        lfst_entries: usize,
+        counter_max: u8,
+        alias_free: bool,
+    ) -> Self {
         assert!(
             ssit_entries.is_power_of_two() && ssit_entries > 0,
             "SSIT entries must be a power of two"
@@ -157,7 +162,10 @@ impl StoreSetPredictor {
             None => LoadPrediction::default(),
             Some(ssid) => {
                 let e = self.lfst(ssid);
-                LoadPrediction { ssid: Some(ssid), wait_store: e.valid.then_some(e.last_store) }
+                LoadPrediction {
+                    ssid: Some(ssid),
+                    wait_store: e.valid.then_some(e.last_store),
+                }
             }
         }
     }
@@ -287,7 +295,10 @@ mod tests {
         p.on_store_issue(ssid, 7);
         let pred = p.on_load_fetch(LOAD_PC);
         assert_eq!(pred.wait_store, None, "valid bit cleared at issue");
-        assert!(p.must_search(pred.ssid), "counter still non-zero until commit");
+        assert!(
+            p.must_search(pred.ssid),
+            "counter still non-zero until commit"
+        );
         p.on_store_commit(ssid);
         assert!(!p.must_search(pred.ssid));
     }
@@ -328,7 +339,10 @@ mod tests {
         assert!(p.valid(ssid));
         p.on_store_squash(ssid, 9);
         assert_eq!(p.counter(ssid), 0);
-        assert!(!p.valid(ssid), "squashed last-fetched store must not gate loads");
+        assert!(
+            !p.valid(ssid),
+            "squashed last-fetched store must not gate loads"
+        );
     }
 
     #[test]
@@ -337,7 +351,10 @@ mod tests {
         p.on_store_fetch(STORE_PC, 1).unwrap();
         let ssid = p.on_store_fetch(STORE_PC, 2).unwrap();
         p.on_store_squash(ssid, 1); // older instance squashed
-        assert!(p.valid(ssid), "younger instance is still the last-fetched store");
+        assert!(
+            p.valid(ssid),
+            "younger instance is still the last-fetched store"
+        );
         assert_eq!(p.counter(ssid), 1);
     }
 
@@ -357,7 +374,7 @@ mod tests {
         let mut p = StoreSetPredictor::new(4096, 128, 7, true);
         p.train_pair(Pc(0x10), Pc(0x20)); // ssid 0
         p.train_pair(Pc(0x30), Pc(0x40)); // ssid 1
-        // Cross-link: load 0x10 (set 0) violates with store 0x40 (set 1).
+                                          // Cross-link: load 0x10 (set 0) violates with store 0x40 (set 1).
         p.train_pair(Pc(0x10), Pc(0x40));
         let s_load = p.on_load_fetch(Pc(0x10)).ssid.unwrap();
         p.on_store_fetch(Pc(0x40), 5).unwrap();

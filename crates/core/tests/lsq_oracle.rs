@@ -37,12 +37,22 @@ impl Shadow {
     fn dispatch(&mut self, is_load: bool, addr: Addr) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.ops.push(ShadowOp { seq, is_load, addr, issued: false, retired: false, forwarded_from: None });
+        self.ops.push(ShadowOp {
+            seq,
+            is_load,
+            addr,
+            issued: false,
+            retired: false,
+            forwarded_from: None,
+        });
         seq
     }
 
     fn get_mut(&mut self, seq: u64) -> &mut ShadowOp {
-        self.ops.iter_mut().find(|o| o.seq == seq).expect("resident")
+        self.ops
+            .iter_mut()
+            .find(|o| o.seq == seq)
+            .expect("resident")
     }
 
     /// Youngest older executed store to the same word.
@@ -60,9 +70,7 @@ impl Shadow {
         self.ops
             .iter()
             .filter(|o| o.is_load && o.seq > store_seq && o.issued)
-            .find(|o| {
-                o.addr.same_word(addr) && o.forwarded_from.is_none_or(|f| f < store_seq)
-            })
+            .find(|o| o.addr.same_word(addr) && o.forwarded_from.is_none_or(|f| f < store_seq))
             .map(|o| o.seq)
     }
 
@@ -144,7 +152,11 @@ fn run_scenario(actions: &[Action], lb: Option<usize>) -> usize {
         match a {
             Action::Dispatch { is_load, addr_sel } => {
                 let addr = Addr(pool[addr_sel as usize % pool.len()]);
-                let can = if is_load { lsq.can_dispatch_load() } else { lsq.can_dispatch_store() };
+                let can = if is_load {
+                    lsq.can_dispatch_load()
+                } else {
+                    lsq.can_dispatch_store()
+                };
                 if !can {
                     continue;
                 }
@@ -207,7 +219,9 @@ fn run_scenario(actions: &[Action], lb: Option<usize>) -> usize {
             }
             Action::CommitHead => {
                 // Retire the oldest op if it has issued.
-                let Some(head) = shadow.ops.first().copied() else { continue };
+                let Some(head) = shadow.ops.first().copied() else {
+                    continue;
+                };
                 if !head.issued {
                     continue;
                 }
@@ -292,12 +306,24 @@ proptest! {
 fn deterministic_mixed_scenario() {
     use Action::*;
     let actions = [
-        Dispatch { is_load: false, addr_sel: 0 },
-        Dispatch { is_load: true, addr_sel: 0 },
-        Dispatch { is_load: true, addr_sel: 1 },
-        IssueNth(1),  // load (premature w.r.t. store 0)
-        IssueNth(0),  // store 0 -> violation on load 1
-        Dispatch { is_load: true, addr_sel: 0 },
+        Dispatch {
+            is_load: false,
+            addr_sel: 0,
+        },
+        Dispatch {
+            is_load: true,
+            addr_sel: 0,
+        },
+        Dispatch {
+            is_load: true,
+            addr_sel: 1,
+        },
+        IssueNth(1), // load (premature w.r.t. store 0)
+        IssueNth(0), // store 0 -> violation on load 1
+        Dispatch {
+            is_load: true,
+            addr_sel: 0,
+        },
         IssueNth(0),
         CommitHead,
         CommitHead,

@@ -175,6 +175,53 @@ proptest! {
     }
 }
 
+/// Deterministic replay of the checked-in regression seed
+/// (`structure_props.proptest-regressions`, shrinking to
+/// `events = [true x7, false, true]` from an earlier spelling of
+/// `segmented_alloc_conserves_slots` whose op vector was named `events`):
+/// seven allocations, one free of the oldest placement, one more
+/// allocation. That drives small allocators to capacity, through a free,
+/// and back into the wrap/re-allocation path. Swept over every
+/// (segments, per-segment, kind) configuration the property covers, so
+/// the seed stays exercised even when proptest's RNG or the seed-file
+/// format changes.
+#[test]
+fn regression_seed_alloc_burst_free_alloc() {
+    for segs in 1usize..5 {
+        for per in 1usize..9 {
+            for kind in [SegAlloc::NoSelfCircular, SegAlloc::SelfCircular] {
+                let mut a = SegmentedAlloc::new(segs, per, kind);
+                let mut live: std::collections::VecDeque<lsq_core::Placement> = Default::default();
+                let ops = [true, true, true, true, true, true, true, false, true];
+                for want_alloc in ops {
+                    if want_alloc {
+                        match a.allocate() {
+                            Some(p) => {
+                                assert!(p.segment < segs, "segment out of range");
+                                live.push_back(p);
+                                assert!(live.len() <= segs * per, "over capacity");
+                            }
+                            None => {
+                                if kind == SegAlloc::SelfCircular {
+                                    assert_eq!(
+                                        live.len(),
+                                        segs * per,
+                                        "self-circular failed below capacity \
+                                         (segs={segs}, per={per})"
+                                    );
+                                }
+                            }
+                        }
+                    } else if let Some(p) = live.pop_front() {
+                        a.free(p);
+                    }
+                    assert_eq!(a.occupied(), live.len(), "segs={segs}, per={per}, {kind:?}");
+                }
+            }
+        }
+    }
+}
+
 // ----------------------------------------------------------------------
 // Port book
 // ----------------------------------------------------------------------

@@ -4,8 +4,10 @@
 //! (used to refresh the measured sections of EXPERIMENTS.md).
 
 use std::io::Write;
+use std::time::Instant;
 
 fn main() {
+    let started = Instant::now();
     let artifacts = lsq_experiments::all(lsq_experiments::RunSpec::default());
     let mut out = String::new();
     for a in &artifacts {
@@ -18,4 +20,9 @@ fn main() {
         f.write_all(out.as_bytes()).expect("write output file");
         eprintln!("wrote {path}");
     }
+    let (hits, misses) = lsq_experiments::engine::global().stats();
+    eprintln!(
+        "engine: {misses} unique simulations, {hits} served from cache, {:.1}s wall",
+        started.elapsed().as_secs_f64()
+    );
 }

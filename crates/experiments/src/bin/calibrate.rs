@@ -8,10 +8,24 @@ use lsq_pipeline::{SimConfig, Simulator};
 use lsq_trace::{BenchProfile, TraceGenerator};
 
 const PAPER: &[(&str, f64)] = &[
-    ("bzip", 2.5), ("gcc", 2.1), ("gzip", 2.0), ("mcf", 0.3), ("parser", 1.9),
-    ("perl", 3.0), ("twolf", 1.5), ("vortex", 2.2), ("vpr", 1.3),
-    ("ammp", 1.2), ("applu", 2.6), ("art", 0.3), ("equake", 1.1), ("mesa", 3.3),
-    ("mgrid", 2.2), ("sixtrack", 2.9), ("swim", 1.0), ("wupwise", 2.9),
+    ("bzip", 2.5),
+    ("gcc", 2.1),
+    ("gzip", 2.0),
+    ("mcf", 0.3),
+    ("parser", 1.9),
+    ("perl", 3.0),
+    ("twolf", 1.5),
+    ("vortex", 2.2),
+    ("vpr", 1.3),
+    ("ammp", 1.2),
+    ("applu", 2.6),
+    ("art", 0.3),
+    ("equake", 1.1),
+    ("mesa", 3.3),
+    ("mgrid", 2.2),
+    ("sixtrack", 2.9),
+    ("swim", 1.0),
+    ("wupwise", 2.9),
 ];
 
 /// Returns (ipc, mean out-of-order-issued loads) for one candidate
@@ -24,40 +38,38 @@ fn ipc_for(profile: &BenchProfile, pseed: u64) -> (f64, f64) {
     let _ = sim.run(&mut stream, 60_000);
     let before = sim.run(&mut stream, 0);
     let after = sim.run(&mut stream, 150_000);
-    let ipc =
-        (after.committed - before.committed) as f64 / (after.cycles - before.cycles) as f64;
+    let ipc = (after.committed - before.committed) as f64 / (after.cycles - before.cycles) as f64;
     (ipc, after.ooo_issued_loads)
 }
 
 fn main() {
     let seeds: Vec<u64> = (0..56).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = PAPER
-            .iter()
-            .map(|&(name, target)| {
-                let seeds = seeds.clone();
-                scope.spawn(move || {
-                    let p = BenchProfile::named(name).unwrap();
-                    let mut best = (u64::MAX, f64::INFINITY, 0.0, 0.0);
-                    for &s in &seeds {
-                        let (ipc, ooo) = ipc_for(p, s);
-                        // Score: IPC error plus a penalty for exceeding
-                        // the paper's < 3 out-of-order-issued loads.
-                        let err = (ipc - target).abs() / target;
-                        let score = err + 0.08 * (ooo - 3.0).max(0.0);
-                        if score < best.1 {
-                            best = (s, score, ipc, ooo);
-                        }
+    // One task per benchmark on the engine's work-stealing scheduler
+    // (honors LSQ_JOBS; defaults to available parallelism).
+    let tasks: Vec<_> = PAPER
+        .iter()
+        .map(|&(name, target)| {
+            let seeds = seeds.clone();
+            move || {
+                let p = BenchProfile::named(name).unwrap();
+                let mut best = (u64::MAX, f64::INFINITY, 0.0, 0.0);
+                for &s in &seeds {
+                    let (ipc, ooo) = ipc_for(p, s);
+                    // Score: IPC error plus a penalty for exceeding
+                    // the paper's < 3 out-of-order-issued loads.
+                    let err = (ipc - target).abs() / target;
+                    let score = err + 0.08 * (ooo - 3.0).max(0.0);
+                    if score < best.1 {
+                        best = (s, score, ipc, ooo);
                     }
-                    (name, target, best)
-                })
-            })
-            .collect();
-        for h in handles {
-            let (name, target, (seed, score, ipc, ooo)) = h.join().unwrap();
-            println!(
-                "{name}: best seed {seed} ipc {ipc:.2} ooo {ooo:.1} (target {target}, score {score:.2})"
-            );
-        }
-    });
+                }
+                (name, target, best)
+            }
+        })
+        .collect();
+    for (name, target, (seed, score, ipc, ooo)) in lsq_experiments::engine::run_tasks(tasks) {
+        println!(
+            "{name}: best seed {seed} ipc {ipc:.2} ooo {ooo:.1} (target {target}, score {score:.2})"
+        );
+    }
 }

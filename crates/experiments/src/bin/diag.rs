@@ -6,14 +6,46 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let bench = args.get(1).map(String::as_str).unwrap_or("gcc");
     let r = run_design_point(bench, LsqConfig::default(), false, RunSpec::default());
-    println!("bench {bench}: ipc {:.3} cycles {} committed {}", r.ipc(), r.cycles, r.committed);
-    println!("  loads {} stores {} branches {}", r.loads_committed, r.stores_committed, r.branches_committed);
-    println!("  brmiss {:.2}% l1d {:.2}% l2 {:.2}%", r.branch_mispredict_rate()*100.0, r.l1d_miss_rate*100.0, r.l2_miss_rate*100.0);
-    println!("  violations {} squashed {}", r.violation_squashes, r.instructions_squashed);
-    println!("  lqOcc {:.1} sqOcc {:.1} oooLoads {:.2}", r.lq_occupancy, r.sq_occupancy, r.ooo_issued_loads);
+    println!(
+        "bench {bench}: ipc {:.3} cycles {} committed {}",
+        r.ipc(),
+        r.cycles,
+        r.committed
+    );
+    println!(
+        "  loads {} stores {} branches {}",
+        r.loads_committed, r.stores_committed, r.branches_committed
+    );
+    println!(
+        "  brmiss {:.2}% l1d {:.2}% l2 {:.2}%",
+        r.branch_mispredict_rate() * 100.0,
+        r.l1d_miss_rate * 100.0,
+        r.l2_miss_rate * 100.0
+    );
+    println!(
+        "  violations {} squashed {}",
+        r.violation_squashes, r.instructions_squashed
+    );
+    println!(
+        "  lqOcc {:.1} sqOcc {:.1} oooLoads {:.2}",
+        r.lq_occupancy, r.sq_occupancy, r.ooo_issued_loads
+    );
     let l = &r.lsq;
-    println!("  sq_searches {} hits {} lq_by_stores {} lq_by_loads {}", l.sq_searches, l.sq_search_hits, l.lq_searches_by_stores, l.lq_searches_by_loads);
-    println!("  stalls: sq_port {} lq_port {} commit_delay {} lb_full {} inorder {} ss_wait {}",
-        l.sq_port_stalls, l.lq_port_stalls, l.commit_port_delays, l.lb_full_stalls, l.in_order_stalls, l.store_set_waits);
-    println!("  issued: loads {} stores {} ; dispatched: loads {} stores {}", l.loads_issued, l.stores_issued, l.loads_dispatched, l.stores_dispatched);
+    println!(
+        "  sq_searches {} hits {} lq_by_stores {} lq_by_loads {}",
+        l.sq_searches, l.sq_search_hits, l.lq_searches_by_stores, l.lq_searches_by_loads
+    );
+    println!(
+        "  stalls: sq_port {} lq_port {} commit_delay {} lb_full {} inorder {} ss_wait {}",
+        l.sq_port_stalls,
+        l.lq_port_stalls,
+        l.commit_port_delays,
+        l.lb_full_stalls,
+        l.in_order_stalls,
+        l.store_set_waits
+    );
+    println!(
+        "  issued: loads {} stores {} ; dispatched: loads {} stores {}",
+        l.loads_issued, l.stores_issued, l.loads_dispatched, l.stores_dispatched
+    );
 }

@@ -1,5 +1,8 @@
 //! Reproduces the paper's fig6; see `lsq_experiments::experiments`.
 
 fn main() {
-    println!("{}", lsq_experiments::experiments::fig6(lsq_experiments::RunSpec::default()));
+    println!(
+        "{}",
+        lsq_experiments::experiments::fig6(lsq_experiments::RunSpec::default())
+    );
 }

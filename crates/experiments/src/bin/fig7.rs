@@ -1,5 +1,8 @@
 //! Reproduces the paper's fig7; see `lsq_experiments::experiments`.
 
 fn main() {
-    println!("{}", lsq_experiments::experiments::fig7(lsq_experiments::RunSpec::default()));
+    println!(
+        "{}",
+        lsq_experiments::experiments::fig7(lsq_experiments::RunSpec::default())
+    );
 }

@@ -55,9 +55,11 @@ fn parse_args() -> Args {
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
-    let mut next = |i: &mut usize| -> String {
+    let next = |i: &mut usize| -> String {
         *i += 1;
-        argv.get(*i - 1).cloned().unwrap_or_else(|| usage("missing flag value"))
+        argv.get(*i - 1)
+            .cloned()
+            .unwrap_or_else(|| usage("missing flag value"))
     };
     while i < argv.len() {
         let flag = argv[i].clone();
@@ -65,7 +67,9 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--bench" => bench = Some(next(&mut i)),
             "--ports" => {
-                lsq.ports = next(&mut i).parse().unwrap_or_else(|_| usage("--ports wants a number"))
+                lsq.ports = next(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("--ports wants a number"))
             }
             "--predictor" => {
                 lsq.predictor = match next(&mut i).as_str() {
@@ -77,7 +81,9 @@ fn parse_args() -> Args {
                 }
             }
             "--load-buffer" => {
-                let n = next(&mut i).parse().unwrap_or_else(|_| usage("--load-buffer wants a number"));
+                let n = next(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("--load-buffer wants a number"));
                 lsq.load_order = LoadOrderPolicy::LoadBuffer(n);
             }
             "--in-order" => {
@@ -97,20 +103,30 @@ fn parse_args() -> Args {
                 }))
             }
             "--lq" => {
-                lsq.lq_entries = next(&mut i).parse().unwrap_or_else(|_| usage("--lq wants a number"))
+                lsq.lq_entries = next(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("--lq wants a number"))
             }
             "--sq" => {
-                lsq.sq_entries = next(&mut i).parse().unwrap_or_else(|_| usage("--sq wants a number"))
+                lsq.sq_entries = next(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("--sq wants a number"))
             }
             "--scaled" => scaled = true,
             "--instrs" => {
-                spec.instrs = next(&mut i).parse().unwrap_or_else(|_| usage("--instrs wants a number"))
+                spec.instrs = next(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("--instrs wants a number"))
             }
             "--warmup" => {
-                spec.warmup = next(&mut i).parse().unwrap_or_else(|_| usage("--warmup wants a number"))
+                spec.warmup = next(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("--warmup wants a number"))
             }
             "--seed" => {
-                spec.seed = next(&mut i).parse().unwrap_or_else(|_| usage("--seed wants a number"))
+                spec.seed = next(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed wants a number"))
             }
             "--csv" => csv = true,
             other => usage(&format!("unknown flag {other}")),
@@ -123,13 +139,27 @@ fn parse_args() -> Args {
     if let Err(e) = lsq.validate() {
         usage(&e.to_string());
     }
-    Args { bench, lsq, scaled, spec, csv }
+    Args {
+        bench,
+        lsq,
+        scaled,
+        spec,
+        csv,
+    }
 }
 
 fn print_human(bench: &str, r: &SimResult) {
     println!("== {bench} ==");
-    println!("  IPC                 {:.3}  ({} instrs, {} cycles)", r.ipc(), r.committed, r.cycles);
-    println!("  branch mispredict   {:.2}%", r.branch_mispredict_rate() * 100.0);
+    println!(
+        "  IPC                 {:.3}  ({} instrs, {} cycles)",
+        r.ipc(),
+        r.committed,
+        r.cycles
+    );
+    println!(
+        "  branch mispredict   {:.2}%",
+        r.branch_mispredict_rate() * 100.0
+    );
     println!("  L1D miss            {:.2}%", r.l1d_miss_rate * 100.0);
     println!(
         "  SQ searches         {} ({} forwarded)",
@@ -178,20 +208,26 @@ fn print_csv(bench: &str, r: &SimResult) {
 
 fn main() {
     let args = parse_args();
-    let benches: Vec<&str> = if args.bench == "all" {
-        BenchProfile::all().iter().map(|p| p.name).collect()
+    // `--bench all` goes through the engine as one batch so benchmarks
+    // run on the work-stealing pool (`LSQ_JOBS` workers) instead of
+    // serially; single benchmarks take the same path with one job.
+    let results: Vec<(&str, SimResult)> = if args.bench == "all" {
+        lsq_experiments::runner::run_all_benchmarks(args.lsq, args.scaled, args.spec)
     } else {
-        vec![BenchProfile::named(&args.bench).expect("validated").name]
+        let name = BenchProfile::named(&args.bench).expect("validated").name;
+        vec![(
+            name,
+            run_design_point(name, args.lsq, args.scaled, args.spec),
+        )]
     };
     if args.csv {
         print_csv_header();
     }
-    for bench in benches {
-        let r = run_design_point(bench, args.lsq, args.scaled, args.spec);
+    for (bench, r) in &results {
         if args.csv {
-            print_csv(bench, &r);
+            print_csv(bench, r);
         } else {
-            print_human(bench, &r);
+            print_human(bench, r);
         }
     }
 }

@@ -1,5 +1,8 @@
 //! Reproduces the paper's table2; see `lsq_experiments::experiments`.
 
 fn main() {
-    println!("{}", lsq_experiments::experiments::table2(lsq_experiments::RunSpec::default()));
+    println!(
+        "{}",
+        lsq_experiments::experiments::table2(lsq_experiments::RunSpec::default())
+    );
 }

@@ -1,5 +1,8 @@
 //! Reproduces the paper's table4; see `lsq_experiments::experiments`.
 
 fn main() {
-    println!("{}", lsq_experiments::experiments::table4(lsq_experiments::RunSpec::default()));
+    println!(
+        "{}",
+        lsq_experiments::experiments::table4(lsq_experiments::RunSpec::default())
+    );
 }

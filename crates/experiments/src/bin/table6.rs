@@ -1,5 +1,8 @@
 //! Reproduces the paper's table6; see `lsq_experiments::experiments`.
 
 fn main() {
-    println!("{}", lsq_experiments::experiments::table6(lsq_experiments::RunSpec::default()));
+    println!(
+        "{}",
+        lsq_experiments::experiments::table6(lsq_experiments::RunSpec::default())
+    );
 }

@@ -1,0 +1,556 @@
+//! The shared experiment engine: a work-stealing scheduler plus an
+//! in-process content-addressed result cache.
+//!
+//! Every figure and table in the paper is a cross-product of
+//! `(benchmark × LsqConfig × scaled? × RunSpec)` design points, and many
+//! of them share points — the base two-ported configuration alone appears
+//! in Figures 6 through 12. The engine flattens each request into [`Job`]s,
+//! runs the jobs that have not been seen before on a work-stealing thread
+//! pool sized by [`worker_count`], and serves repeats from a cache keyed
+//! by everything that determines a run's outcome (benchmark name, the
+//! full [`SimConfig`], and the [`RunSpec`]). Simulations are
+//! deterministic, so a cached result is exactly the result a fresh run
+//! would produce (modulo the host-timing fields).
+//!
+//! Observability knobs (all environment variables):
+//!
+//! * `LSQ_JOBS=<n>` — worker threads (default:
+//!   `std::thread::available_parallelism()`).
+//! * `LSQ_PROGRESS=1|0` — force the per-job progress/ETA line on stderr
+//!   on or off (default: on when stderr is a terminal).
+//! * `LSQ_EXPERIMENTS_JSON=<path>` — after every batch, dump every job
+//!   run so far (configuration, headline counters, timing, whether it was
+//!   served from cache) as a JSON array to `<path>`.
+
+use crate::runner::RunSpec;
+use lsq_core::LsqConfig;
+use lsq_pipeline::{SimConfig, SimResult};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{IsTerminal, Write};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One unit of work: a benchmark run through one design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Job {
+    /// Benchmark name (one of the 18 Table 2 profiles).
+    pub bench: &'static str,
+    /// The LSQ design point.
+    pub lsq: LsqConfig,
+    /// Whether to run the §4.3 scaled processor.
+    pub scaled: bool,
+    /// Instruction budget.
+    pub spec: RunSpec,
+}
+
+/// Result-cache key: everything that determines a run's outcome. The
+/// full [`SimConfig`] (not just the LSQ point and the scaled flag it was
+/// derived from) is hashed, so two jobs collide only if the simulator
+/// would be configured identically.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct JobKey {
+    bench: &'static str,
+    sim: SimConfig,
+    spec: RunSpec,
+}
+
+impl Job {
+    fn key(&self) -> JobKey {
+        let sim = if self.scaled {
+            SimConfig::scaled(self.lsq)
+        } else {
+            SimConfig::with_lsq(self.lsq)
+        };
+        JobKey {
+            bench: self.bench,
+            sim,
+            spec: self.spec,
+        }
+    }
+}
+
+/// Provenance of one job, kept for the `LSQ_EXPERIMENTS_JSON` dump.
+#[derive(Debug, Clone)]
+struct JobRecord {
+    job: Job,
+    cached: bool,
+    wall_nanos: u64,
+    cycles: u64,
+    committed: u64,
+    ipc: f64,
+    sim_mips: f64,
+}
+
+/// The experiment engine. One global instance (see [`global`]) is shared
+/// by every experiment in a process so design points are simulated at
+/// most once per run; tests may build private instances.
+#[derive(Default)]
+pub struct Engine {
+    cache: Mutex<HashMap<JobKey, SimResult>>,
+    records: Mutex<Vec<JobRecord>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// The process-wide engine used by the `runner` entry points.
+pub fn global() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(Engine::default)
+}
+
+impl Engine {
+    /// Creates an empty engine (private cache; used by tests).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `(cache hits, unique simulations)` served so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Runs a batch of jobs and returns one result per job, in order.
+    ///
+    /// Jobs whose key is already cached (from this or an earlier batch)
+    /// are served from the cache; duplicates within the batch are
+    /// simulated once. Fresh jobs run on [`worker_count`] work-stealing
+    /// workers.
+    pub fn run_batch(&self, jobs: &[Job]) -> Vec<SimResult> {
+        self.run_batch_with_workers(jobs, None)
+    }
+
+    /// [`Engine::run_batch`] with an explicit worker count, bypassing
+    /// `LSQ_JOBS` / `available_parallelism` (determinism tests).
+    pub fn run_batch_with_workers(&self, jobs: &[Job], workers: Option<usize>) -> Vec<SimResult> {
+        let keys: Vec<JobKey> = jobs.iter().map(Job::key).collect();
+
+        // Unique uncached keys, in first-appearance order (deterministic).
+        let mut pending: Vec<(JobKey, Job)> = Vec::new();
+        {
+            let cache = self.cache.lock().expect("engine cache poisoned");
+            for (job, key) in jobs.iter().zip(&keys) {
+                if !cache.contains_key(key) && !pending.iter().any(|(k, _)| k == key) {
+                    pending.push((key.clone(), *job));
+                }
+            }
+        }
+
+        let workers = workers.unwrap_or_else(|| worker_count(pending.len()));
+        let fresh = self.run_pending(&pending, workers);
+
+        {
+            let mut cache = self.cache.lock().expect("engine cache poisoned");
+            for ((key, _), result) in pending.iter().zip(fresh) {
+                cache.insert(key.clone(), result);
+            }
+        }
+
+        let cache = self.cache.lock().expect("engine cache poisoned");
+        let results: Vec<SimResult> = keys.iter().map(|k| cache[k].clone()).collect();
+        drop(cache);
+
+        // A job is "fresh" only at the first appearance of its key in this
+        // batch, and only if that key was actually simulated here; repeats
+        // and keys cached by earlier batches are hits.
+        let ran: HashSet<&JobKey> = pending.iter().map(|(k, _)| k).collect();
+        let mut first_seen: HashSet<&JobKey> = HashSet::new();
+        let cached_flags: Vec<bool> = keys
+            .iter()
+            .map(|k| !(ran.contains(k) && first_seen.insert(k)))
+            .collect();
+        self.hits.fetch_add(
+            cached_flags.iter().filter(|&&c| c).count() as u64,
+            Ordering::Relaxed,
+        );
+        self.misses
+            .fetch_add(pending.len() as u64, Ordering::Relaxed);
+
+        {
+            let mut records = self.records.lock().expect("engine records poisoned");
+            for ((job, &cached), result) in jobs.iter().zip(&cached_flags).zip(&results) {
+                records.push(JobRecord {
+                    job: *job,
+                    cached,
+                    wall_nanos: result.wall_nanos,
+                    cycles: result.cycles,
+                    committed: result.committed,
+                    ipc: result.ipc(),
+                    sim_mips: result.sim_mips,
+                });
+            }
+        }
+        if let Ok(path) = std::env::var("LSQ_EXPERIMENTS_JSON") {
+            self.dump_json(&path);
+        }
+        results
+    }
+
+    /// Runs the uncached jobs on `workers` work-stealing threads.
+    ///
+    /// Each worker owns a deque seeded round-robin; it pops its own work
+    /// from the front and, when empty, steals from the back of a
+    /// neighbour's. No new work appears mid-run, so a worker exits once
+    /// every deque is empty.
+    fn run_pending(&self, pending: &[(JobKey, Job)], workers: usize) -> Vec<SimResult> {
+        let total = pending.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let workers = workers.clamp(1, total);
+        let deques: Vec<Mutex<VecDeque<usize>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, _) in pending.iter().enumerate() {
+            deques[i % workers]
+                .lock()
+                .expect("deque poisoned")
+                .push_back(i);
+        }
+        let results: Vec<Mutex<Option<SimResult>>> = (0..total).map(|_| Mutex::new(None)).collect();
+        let done = AtomicUsize::new(0);
+        let started = Instant::now();
+        let progress = progress_enabled();
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let deques = &deques;
+                let results = &results;
+                let done = &done;
+                scope.spawn(move || loop {
+                    let mut claimed = deques[w].lock().expect("deque poisoned").pop_front();
+                    if claimed.is_none() {
+                        for other in deques.iter() {
+                            claimed = other.lock().expect("deque poisoned").pop_back();
+                            if claimed.is_some() {
+                                break;
+                            }
+                        }
+                    }
+                    let Some(idx) = claimed else { break };
+                    let job = pending[idx].1;
+                    let t0 = Instant::now();
+                    let mut r = crate::runner::run_design_point_uncached(
+                        job.bench, job.lsq, job.scaled, job.spec,
+                    );
+                    let wall = t0.elapsed();
+                    r.wall_nanos = wall.as_nanos() as u64;
+                    let simulated = (job.spec.warmup + r.committed) as f64;
+                    r.sim_mips = simulated / wall.as_secs_f64().max(1e-12) / 1e6;
+                    *results[idx].lock().expect("result slot poisoned") = Some(r);
+                    let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if progress {
+                        report_progress(n, total, started);
+                    }
+                });
+            }
+        });
+        if progress {
+            eprintln!();
+        }
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every job runs")
+            })
+            .collect()
+    }
+
+    /// Writes every job recorded so far as a JSON array to `path`.
+    /// Failures are reported on stderr, not fatal — a bad dump path must
+    /// not kill an hour of simulation.
+    fn dump_json(&self, path: &str) {
+        let records = self.records.lock().expect("engine records poisoned");
+        let mut out = String::from("[\n");
+        for (i, r) in records.iter().enumerate() {
+            let j = &r.job;
+            out.push_str(&format!(
+                "  {{\"bench\": {}, \"scaled\": {}, \"warmup\": {}, \"instrs\": {}, \
+                 \"seed\": {}, \"ports\": {}, \"lq_entries\": {}, \"sq_entries\": {}, \
+                 \"predictor\": {}, \"load_order\": {}, \"segmentation\": {}, \
+                 \"cached\": {}, \"wall_nanos\": {}, \"cycles\": {}, \"committed\": {}, \
+                 \"ipc\": {:.6}, \"sim_mips\": {:.3}}}{}\n",
+                json_string(j.bench),
+                j.scaled,
+                j.spec.warmup,
+                j.spec.instrs,
+                j.spec.seed,
+                j.lsq.ports,
+                j.lsq.lq_entries,
+                j.lsq.sq_entries,
+                json_string(&format!("{:?}", j.lsq.predictor)),
+                json_string(&format!("{:?}", j.lsq.load_order)),
+                match j.lsq.segmentation {
+                    Some(seg) => json_string(&format!("{seg:?}")),
+                    None => "null".to_string(),
+                },
+                r.cached,
+                r.wall_nanos,
+                r.cycles,
+                r.committed,
+                r.ipc,
+                r.sim_mips,
+                if i + 1 == records.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("]\n");
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("warning: could not write LSQ_EXPERIMENTS_JSON={path}: {e}");
+        }
+    }
+}
+
+/// Runs arbitrary closures on the engine's work-stealing scheduler,
+/// returning their results in input order. Honors `LSQ_JOBS` like
+/// [`Engine::run_batch`] but bypasses the result cache (the tasks are
+/// opaque). Used by workloads that are not design-point runs, e.g. the
+/// `calibrate` seed scan.
+pub fn run_tasks<T, F>(tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let total = tasks.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let workers = worker_count(total);
+    let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let deques: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for i in 0..total {
+        deques[i % workers]
+            .lock()
+            .expect("deque poisoned")
+            .push_back(i);
+    }
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let deques = &deques;
+            let slots = &slots;
+            let results = &results;
+            scope.spawn(move || loop {
+                let mut claimed = deques[w].lock().expect("deque poisoned").pop_front();
+                if claimed.is_none() {
+                    for other in deques.iter() {
+                        claimed = other.lock().expect("deque poisoned").pop_back();
+                        if claimed.is_some() {
+                            break;
+                        }
+                    }
+                }
+                let Some(idx) = claimed else { break };
+                let task = slots[idx]
+                    .lock()
+                    .expect("task slot poisoned")
+                    .take()
+                    .expect("task claimed once");
+                *results[idx].lock().expect("result slot poisoned") = Some(task());
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every task runs")
+        })
+        .collect()
+}
+
+/// Number of worker threads for `jobs` queued jobs: `LSQ_JOBS` when set
+/// to a positive integer, else `std::thread::available_parallelism()`;
+/// always within `1..=max(jobs, 1)`.
+pub fn worker_count(jobs: usize) -> usize {
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    worker_count_from(std::env::var("LSQ_JOBS").ok().as_deref(), parallelism, jobs)
+}
+
+/// Pure core of [`worker_count`], separated for testing.
+fn worker_count_from(env: Option<&str>, parallelism: usize, jobs: usize) -> usize {
+    env.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(parallelism)
+        .clamp(1, jobs.max(1))
+}
+
+fn progress_enabled() -> bool {
+    match std::env::var("LSQ_PROGRESS").ok().as_deref() {
+        Some("0") => false,
+        Some(_) => true,
+        None => std::io::stderr().is_terminal(),
+    }
+}
+
+fn report_progress(done: usize, total: usize, started: Instant) {
+    let elapsed = started.elapsed().as_secs_f64();
+    let eta = elapsed / done as f64 * (total - done) as f64;
+    let mut err = std::io::stderr().lock();
+    let _ = write!(
+        err,
+        "\r[{done}/{total}] jobs, {elapsed:.1}s elapsed, eta {eta:.1}s   "
+    );
+    let _ = err.flush();
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: RunSpec = RunSpec {
+        warmup: 200,
+        instrs: 800,
+        seed: 1,
+    };
+
+    fn job(bench: &'static str) -> Job {
+        Job {
+            bench,
+            lsq: LsqConfig::default(),
+            scaled: false,
+            spec: TINY,
+        }
+    }
+
+    /// Non-timing fields of two results must match bit-for-bit.
+    fn assert_same_counters(a: &SimResult, b: &SimResult) {
+        let strip = |r: &SimResult| {
+            let mut r = r.clone();
+            r.wall_nanos = 0;
+            r.sim_mips = 0.0;
+            r
+        };
+        let (a, b) = (strip(a), strip(b));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn worker_count_bounds() {
+        // LSQ_JOBS wins when positive.
+        assert_eq!(worker_count_from(Some("3"), 8, 100), 3);
+        // Garbage and zero fall back to parallelism.
+        assert_eq!(worker_count_from(Some("oops"), 4, 100), 4);
+        assert_eq!(worker_count_from(Some("0"), 4, 100), 4);
+        assert_eq!(worker_count_from(None, 4, 100), 4);
+        // Never more workers than jobs, never fewer than one.
+        assert_eq!(worker_count_from(Some("64"), 8, 5), 5);
+        assert_eq!(worker_count_from(None, 8, 0), 1);
+        assert_eq!(worker_count_from(None, 1, 0), 1);
+    }
+
+    #[test]
+    fn batch_results_are_in_job_order_and_deduplicated() {
+        let engine = Engine::new();
+        let jobs = [job("gzip"), job("mcf"), job("gzip")];
+        let results = engine.run_batch_with_workers(&jobs, Some(2));
+        assert_eq!(results.len(), 3);
+        // Duplicate jobs return the identical result.
+        assert_same_counters(&results[0], &results[2]);
+        // Different benchmarks genuinely differ.
+        assert_ne!(results[0].cycles, results[1].cycles);
+        let (hits, misses) = engine.stats();
+        assert_eq!(misses, 2, "gzip simulated once, mcf once");
+        assert_eq!(hits, 1, "second gzip job served from cache");
+    }
+
+    #[test]
+    fn cache_hit_equals_fresh_run() {
+        let engine = Engine::new();
+        let fresh = engine.run_batch_with_workers(&[job("gzip")], Some(1));
+        let cached = engine.run_batch_with_workers(&[job("gzip")], Some(1));
+        assert_same_counters(&fresh[0], &cached[0]);
+        let (hits, misses) = engine.stats();
+        assert_eq!((hits, misses), (1, 1));
+        // An independent engine reproduces the same counters from scratch.
+        let other = Engine::new().run_batch_with_workers(&[job("gzip")], Some(1));
+        assert_same_counters(&fresh[0], &other[0]);
+    }
+
+    #[test]
+    fn results_identical_across_worker_counts() {
+        let jobs = [job("gzip"), job("mcf"), job("equake"), job("bzip")];
+        let serial = Engine::new().run_batch_with_workers(&jobs, Some(1));
+        let parallel = Engine::new().run_batch_with_workers(&jobs, Some(4));
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_same_counters(s, p);
+        }
+    }
+
+    #[test]
+    fn fresh_results_carry_timing() {
+        let engine = Engine::new();
+        let r = &engine.run_batch_with_workers(&[job("gzip")], Some(1))[0];
+        assert!(r.wall_nanos > 0, "engine stamps wall time");
+        assert!(r.sim_mips > 0.0, "engine stamps simulation rate");
+    }
+
+    #[test]
+    fn scaled_and_base_do_not_collide() {
+        let engine = Engine::new();
+        let base = job("gzip");
+        let scaled = Job {
+            scaled: true,
+            ..base
+        };
+        let results = engine.run_batch_with_workers(&[base, scaled], Some(1));
+        let (hits, misses) = engine.stats();
+        assert_eq!((hits, misses), (0, 2));
+        assert_ne!(results[0].cycles, results[1].cycles);
+    }
+
+    #[test]
+    fn run_tasks_preserves_order() {
+        let tasks: Vec<_> = (0..17).map(|i| move || i * 3).collect();
+        assert_eq!(run_tasks(tasks), (0..17).map(|i| i * 3).collect::<Vec<_>>());
+        let empty: Vec<fn() -> i32> = Vec::new();
+        assert_eq!(run_tasks(empty), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
+    }
+
+    #[test]
+    fn json_dump_is_written_and_well_formed() {
+        let engine = Engine::new();
+        let _ = engine.run_batch_with_workers(&[job("gzip"), job("gzip")], Some(1));
+        let path = std::env::temp_dir().join("lsq_engine_dump_test.json");
+        engine.dump_json(path.to_str().unwrap());
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(text.starts_with("[\n"));
+        assert!(text.trim_end().ends_with(']'));
+        assert_eq!(text.matches("\"bench\": \"gzip\"").count(), 2);
+        assert_eq!(text.matches("\"cached\": true").count(), 1);
+        assert_eq!(text.matches("\"cached\": false").count(), 1);
+        // Balanced braces: one object per record line.
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+    }
+}

@@ -88,12 +88,21 @@ fn speedup_row_note(label: &str, rows: &[(&'static str, f64)]) -> String {
 pub fn table1() -> Artifact {
     let c = SimConfig::default();
     let mut t = Table::new(vec!["parameter", "value"]);
-    t.row(vec!["ROB size".into(), format!("{} entries", c.rob_entries)]);
-    t.row(vec!["Issue queue".into(), format!("{} entries", c.iq_entries)]);
+    t.row(vec![
+        "ROB size".into(),
+        format!("{} entries", c.rob_entries),
+    ]);
+    t.row(vec![
+        "Issue queue".into(),
+        format!("{} entries", c.iq_entries),
+    ]);
     t.row(vec!["Issue width".into(), format!("{}", c.issue_width)]);
     t.row(vec![
         "Functional units".into(),
-        format!("{} integer, {} pipelined floating-point", c.int_units, c.fp_units),
+        format!(
+            "{} integer, {} pipelined floating-point",
+            c.int_units, c.fp_units
+        ),
     ]);
     t.row(vec![
         "L1 caches".into(),
@@ -116,7 +125,10 @@ pub fn table1() -> Artifact {
             c.hierarchy.l2.block_bytes
         ),
     ]);
-    t.row(vec!["Memory".into(), format!("{} cycles", c.hierarchy.mem_latency)]);
+    t.row(vec![
+        "Memory".into(),
+        format!("{} cycles", c.hierarchy.mem_latency),
+    ]);
     t.row(vec![
         "Store-set predictor".into(),
         format!(
@@ -180,7 +192,10 @@ pub fn table2(spec: RunSpec) -> Artifact {
 // ----------------------------------------------------------------------
 
 fn predictor_configs() -> [LsqConfig; 4] {
-    let mk = |p| LsqConfig { predictor: p, ..LsqConfig::default() };
+    let mk = |p| LsqConfig {
+        predictor: p,
+        ..LsqConfig::default()
+    };
     [
         LsqConfig::default(),
         mk(PredictorKind::Perfect),
@@ -273,7 +288,10 @@ fn fig7_from(rows: &[(&'static str, Vec<SimResult>)]) -> Artifact {
 /// Table 3: accuracy of the store-load pair predictor.
 pub fn table3(spec: RunSpec) -> Artifact {
     let rows = run_matrix(
-        &[LsqConfig { predictor: PredictorKind::Pair, ..LsqConfig::default() }],
+        &[LsqConfig {
+            predictor: PredictorKind::Pair,
+            ..LsqConfig::default()
+        }],
         false,
         spec,
     );
@@ -308,7 +326,10 @@ pub fn table3(spec: RunSpec) -> Artifact {
 pub fn fig8(spec: RunSpec) -> Artifact {
     let cfgs = [
         LsqConfig::default(),
-        LsqConfig { load_order: LoadOrderPolicy::LoadBuffer(2), ..LsqConfig::default() },
+        LsqConfig {
+            load_order: LoadOrderPolicy::LoadBuffer(2),
+            ..LsqConfig::default()
+        },
     ];
     let rows = run_matrix(&cfgs, false, spec);
     let mut t = Table::new(vec!["bench", "LQ demand vs conventional"]);
@@ -363,7 +384,10 @@ pub fn table4(spec: RunSpec) -> Artifact {
 
 /// Figure 9: load-buffer sizing, including the in-order strawmen.
 pub fn fig9(spec: RunSpec) -> Artifact {
-    let mk = |o| LsqConfig { load_order: o, ..LsqConfig::default() };
+    let mk = |o| LsqConfig {
+        load_order: o,
+        ..LsqConfig::default()
+    };
     let cfgs = [
         LsqConfig::default(),
         mk(LoadOrderPolicy::InOrderAlwaysSearch),
@@ -462,7 +486,11 @@ pub fn fig10(spec: RunSpec) -> Artifact {
 /// Figure 11: segmentation in isolation, both allocation strategies, vs
 /// the 32-entry base and a hypothetical unsegmented 128-entry queue.
 pub fn fig11(spec: RunSpec) -> Artifact {
-    let big = LsqConfig { lq_entries: 128, sq_entries: 128, ..LsqConfig::default() };
+    let big = LsqConfig {
+        lq_entries: 128,
+        sq_entries: 128,
+        ..LsqConfig::default()
+    };
     let cfgs = [
         LsqConfig::default(),
         LsqConfig::segmented(SegAlloc::NoSelfCircular),
@@ -470,8 +498,12 @@ pub fn fig11(spec: RunSpec) -> Artifact {
         big,
     ];
     let rows = run_matrix(&cfgs, false, spec);
-    let mut t =
-        Table::new(vec!["bench", "no-self-circular 4x28", "self-circular 4x28", "128 unsegmented"]);
+    let mut t = Table::new(vec![
+        "bench",
+        "no-self-circular 4x28",
+        "self-circular 4x28",
+        "128 unsegmented",
+    ]);
     let mut nsc = Vec::new();
     let mut sc = Vec::new();
     for (name, r) in &rows {
@@ -506,7 +538,11 @@ pub fn fig11(spec: RunSpec) -> Artifact {
 /// queues (measured with generous 256-entry queues so demand is not
 /// clamped by the base capacity).
 pub fn table5(spec: RunSpec) -> Artifact {
-    let unclamped = LsqConfig { lq_entries: 256, sq_entries: 256, ..LsqConfig::default() };
+    let unclamped = LsqConfig {
+        lq_entries: 256,
+        sq_entries: 256,
+        ..LsqConfig::default()
+    };
     let rows = run_matrix(&[unclamped], false, spec);
     let mut t = Table::new(vec!["bench", "avg LQ entries", "avg SQ entries"]);
     for (name, r) in &rows {
@@ -554,7 +590,11 @@ pub fn table6(spec: RunSpec) -> Artifact {
                 stores (self-circular)",
         table: t,
         notes: vec![
-            format!("Measured single-segment fraction: Int {:.0}% / Fp {:.0}%.", int * 100.0, fp * 100.0),
+            format!(
+                "Measured single-segment fraction: Int {:.0}% / Fp {:.0}%.",
+                int * 100.0,
+                fp * 100.0
+            ),
             "Paper: 90% of INT and 79% of FP load searches end within one segment, so the \
              extra per-segment cycle rarely hurts load latency."
                 .into(),
@@ -684,7 +724,11 @@ pub fn all(spec: RunSpec) -> Vec<Artifact> {
 mod tests {
     use super::*;
 
-    const TINY: RunSpec = RunSpec { warmup: 1_000, instrs: 4_000, seed: 1 };
+    const TINY: RunSpec = RunSpec {
+        warmup: 1_000,
+        instrs: 4_000,
+        seed: 1,
+    };
 
     #[test]
     fn table1_lists_paper_parameters() {
@@ -703,7 +747,7 @@ mod tests {
         for line in a.table.to_string().lines().skip(2) {
             for cell in line.split_whitespace().skip(1) {
                 let v: f64 = cell.parse().expect("numeric cell");
-                assert!(v >= 0.0 && v <= 1.5, "ratio {v}");
+                assert!((0.0..=1.5).contains(&v), "ratio {v}");
             }
         }
     }

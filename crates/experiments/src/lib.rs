@@ -13,6 +13,12 @@
 //! per run is controlled by the `LSQ_INSTRS` environment variable
 //! (default 200,000 after a 40,000-instruction warm-up).
 //!
+//! All runs flow through the shared [`engine`]: a work-stealing pool
+//! (`LSQ_JOBS` workers) with a result cache, so design points shared
+//! between artifacts — the base and two-ported configurations appear in
+//! most of Figures 6–12 — are simulated exactly once per process. See
+//! the [`engine`] docs for `LSQ_PROGRESS` and `LSQ_EXPERIMENTS_JSON`.
+//!
 //! # Examples
 //!
 //! ```
@@ -24,8 +30,10 @@
 //! assert!(r.ipc() > 0.1);
 //! ```
 
+pub mod engine;
 pub mod experiments;
 pub mod runner;
 
+pub use engine::{worker_count, Engine, Job};
 pub use experiments::{all, Artifact};
 pub use runner::{run_design_point, RunSpec};

@@ -1,11 +1,18 @@
 //! Shared machinery for running design points across benchmarks.
+//!
+//! All entry points route through the [`crate::engine`]: design points
+//! are simulated once per process and repeats are served from its result
+//! cache, and batches run on a work-stealing pool sized by
+//! `LSQ_JOBS` / `available_parallelism` (see the engine docs for the
+//! observability knobs).
 
+use crate::engine::{self, Job};
 use lsq_core::LsqConfig;
 use lsq_pipeline::{SimConfig, SimResult, Simulator};
 use lsq_trace::BenchProfile;
 
 /// Instruction budget for one run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RunSpec {
     /// Instructions committed before measurement starts (caches,
     /// predictors, and queues warm up; statistics from this phase are
@@ -19,7 +26,11 @@ pub struct RunSpec {
 
 impl Default for RunSpec {
     fn default() -> Self {
-        Self { warmup: 100_000, instrs: default_instrs(), seed: 1 }
+        Self {
+            warmup: 100_000,
+            instrs: default_instrs(),
+            seed: 1,
+        }
     }
 }
 
@@ -33,16 +44,43 @@ fn default_instrs() -> u64 {
 /// Runs one `(benchmark, LSQ design point)` pair on the base (or scaled)
 /// processor and returns the measured-phase result.
 ///
-/// The warm-up phase runs on the same machine state; measured counters are
-/// obtained by differencing cumulative counters where they matter (IPC is
-/// computed from the measured window).
+/// Served from the engine's result cache when the same design point has
+/// already run in this process.
 ///
 /// # Panics
 ///
 /// Panics if `bench` is not one of the 18 profile names.
 pub fn run_design_point(bench: &str, lsq: LsqConfig, scaled: bool, spec: RunSpec) -> SimResult {
     let profile = BenchProfile::named(bench).unwrap_or_else(|| panic!("unknown benchmark {bench}"));
-    let cfg = if scaled { SimConfig::scaled(lsq) } else { SimConfig::with_lsq(lsq) };
+    engine::global()
+        .run_batch(&[Job {
+            bench: profile.name,
+            lsq,
+            scaled,
+            spec,
+        }])
+        .pop()
+        .expect("one job, one result")
+}
+
+/// The uncached simulation underneath [`run_design_point`]: warm up,
+/// snapshot, measure, difference. Called by the engine for cache misses.
+///
+/// The warm-up phase runs on the same machine state; measured counters
+/// are obtained by differencing cumulative counters against the
+/// post-warm-up snapshot.
+pub(crate) fn run_design_point_uncached(
+    bench: &str,
+    lsq: LsqConfig,
+    scaled: bool,
+    spec: RunSpec,
+) -> SimResult {
+    let profile = BenchProfile::named(bench).unwrap_or_else(|| panic!("unknown benchmark {bench}"));
+    let cfg = if scaled {
+        SimConfig::scaled(lsq)
+    } else {
+        SimConfig::with_lsq(lsq)
+    };
     let mut stream = profile.stream(spec.seed);
     let mut sim = Simulator::new(cfg);
     sim.prewarm(&stream.data_regions(), stream.code_region());
@@ -81,15 +119,58 @@ fn diff_results(before: &SimResult, after: &SimResult) -> SimResult {
     r.lsq.violations -= before.lsq.violations;
     r.lsq.commit_violations -= before.lsq.commit_violations;
     r.lsq.useless_searches -= before.lsq.useless_searches;
+    r.lsq.load_load_violations -= before.lsq.load_load_violations;
+    r.lsq.invalidations -= before.lsq.invalidations;
+    r.lsq.invalidation_squashes -= before.lsq.invalidation_squashes;
     r.lsq.sq_port_stalls -= before.lsq.sq_port_stalls;
     r.lsq.lq_port_stalls -= before.lsq.lq_port_stalls;
     r.lsq.commit_port_delays -= before.lsq.commit_port_delays;
     r.lsq.lb_full_stalls -= before.lsq.lb_full_stalls;
     r.lsq.in_order_stalls -= before.lsq.in_order_stalls;
     r.lsq.store_set_waits -= before.lsq.store_set_waits;
-    // Occupancy means and the segment histogram include the warm-up
-    // window; with warmup ≤ 20% of the run this bias is negligible.
+    // The segment histogram is cumulative too: subtract the warm-up
+    // snapshot so Table 6 reflects only the measured window.
+    r.lsq.seg_search_hist.subtract(&before.lsq.seg_search_hist);
+    // Occupancy means are sampled once per cycle, so the cycle counts are
+    // their exact sample counts: re-base each mean onto the measured
+    // window by removing the warm-up window's weighted contribution.
+    r.lq_occupancy = rebase_mean(
+        before.lq_occupancy,
+        before.cycles,
+        after.lq_occupancy,
+        after.cycles,
+    );
+    r.sq_occupancy = rebase_mean(
+        before.sq_occupancy,
+        before.cycles,
+        after.sq_occupancy,
+        after.cycles,
+    );
+    r.ooo_issued_loads = rebase_mean(
+        before.ooo_issued_loads,
+        before.cycles,
+        after.ooo_issued_loads,
+        after.cycles,
+    );
+    r.inflight_loads = rebase_mean(
+        before.inflight_loads,
+        before.cycles,
+        after.inflight_loads,
+        after.cycles,
+    );
     r
+}
+
+/// Mean over only the samples recorded after a snapshot:
+/// `(after_mean·after_n − before_mean·before_n) / (after_n − before_n)`,
+/// clamped at zero against floating-point cancellation.
+fn rebase_mean(before_mean: f64, before_n: u64, after_mean: f64, after_n: u64) -> f64 {
+    let n = after_n.saturating_sub(before_n);
+    if n == 0 {
+        return 0.0;
+    }
+    let sum = after_mean * after_n as f64 - before_mean * before_n as f64;
+    (sum / n as f64).max(0.0)
 }
 
 /// Runs a design point for every benchmark, in parallel, returning
@@ -105,33 +186,31 @@ pub fn run_all_benchmarks(
         .collect()
 }
 
-/// Runs several design points for every benchmark, in parallel. Returns
-/// one row per benchmark (Table 2 order), each with one result per
-/// design point (input order).
+/// Runs several design points for every benchmark through the engine's
+/// work-stealing pool. Returns one row per benchmark (Table 2 order),
+/// each with one result per design point (input order).
 pub fn run_matrix(
     configs: &[LsqConfig],
     scaled: bool,
     spec: RunSpec,
 ) -> Vec<(&'static str, Vec<SimResult>)> {
     let names: Vec<&'static str> = BenchProfile::all().iter().map(|p| p.name).collect();
-    let mut out: Vec<(&'static str, Vec<SimResult>)> = Vec::with_capacity(names.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = names
-            .iter()
-            .map(|&name| {
-                scope.spawn(move || {
-                    configs
-                        .iter()
-                        .map(|&lsq| run_design_point(name, lsq, scaled, spec))
-                        .collect::<Vec<_>>()
-                })
+    let jobs: Vec<Job> = names
+        .iter()
+        .flat_map(|&name| {
+            configs.iter().map(move |&lsq| Job {
+                bench: name,
+                lsq,
+                scaled,
+                spec,
             })
-            .collect();
-        for (name, h) in names.iter().zip(handles) {
-            out.push((name, h.join().expect("benchmark thread panicked")));
-        }
-    });
-    out
+        })
+        .collect();
+    let mut results = engine::global().run_batch(&jobs).into_iter();
+    names
+        .iter()
+        .map(|&name| (name, results.by_ref().take(configs.len()).collect()))
+        .collect()
 }
 
 /// Splits per-benchmark values into (INT mean, FP mean) using the Table 2
@@ -156,15 +235,24 @@ pub fn int_fp_means(rows: &[(&'static str, f64)]) -> (f64, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lsq_core::LsqStats;
 
-    const SMALL: RunSpec = RunSpec { warmup: 2_000, instrs: 6_000, seed: 1 };
+    const SMALL: RunSpec = RunSpec {
+        warmup: 2_000,
+        instrs: 6_000,
+        seed: 1,
+    };
 
     #[test]
     fn run_design_point_produces_progress() {
         let r = run_design_point("gzip", LsqConfig::default(), false, SMALL);
         // The final cycle may retire up to commit_width instructions,
         // so a run can overshoot its budget by a few.
-        assert!((6_000..6_008).contains(&r.committed), "committed {}", r.committed);
+        assert!(
+            (6_000..6_008).contains(&r.committed),
+            "committed {}",
+            r.committed
+        );
         assert!(r.ipc() > 0.1);
         assert!(!r.hit_cycle_cap);
     }
@@ -183,7 +271,73 @@ mod tests {
             "warm-up committed removed ({})",
             with_warm.committed
         );
-        assert!(with_warm.lsq.loads_issued < 6_000 * 2, "counters are windowed");
+        assert!(
+            with_warm.lsq.loads_issued < 6_000 * 2,
+            "counters are windowed"
+        );
+    }
+
+    #[test]
+    fn diffing_rebases_means_and_histogram() {
+        let mut before = blank_result();
+        before.cycles = 1_000;
+        before.lq_occupancy = 30.0; // congested warm-up window
+        before.lsq.seg_search_hist.record(0);
+        before.lsq.seg_search_hist.record(3);
+        let mut after = blank_result();
+        after.cycles = 3_000;
+        // Cumulative mean: (30·1000 + 6·2000) / 3000 = 14.
+        after.lq_occupancy = 14.0;
+        after.lsq.seg_search_hist.record(0);
+        after.lsq.seg_search_hist.record(3);
+        after.lsq.seg_search_hist.record(1);
+        let r = diff_results(&before, &after);
+        assert_eq!(r.cycles, 2_000);
+        assert!(
+            (r.lq_occupancy - 6.0).abs() < 1e-9,
+            "warm-up congestion removed"
+        );
+        // Only the measured-window observation remains.
+        assert_eq!(r.lsq.seg_search_hist.count(), 1);
+        assert_eq!(r.lsq.seg_search_hist.bucket(1), 1);
+        assert_eq!(r.lsq.seg_search_hist.bucket(0), 0);
+        assert_eq!(r.lsq.seg_search_hist.bucket(3), 0);
+    }
+
+    #[test]
+    fn rebase_mean_edge_cases() {
+        // No new samples: define the mean as zero rather than dividing
+        // by zero.
+        assert_eq!(rebase_mean(5.0, 100, 5.0, 100), 0.0);
+        // No warm-up: the cumulative mean passes through.
+        assert_eq!(rebase_mean(0.0, 0, 7.5, 200), 7.5);
+        // A difference that would go negative (rounding noise near zero)
+        // clamps at zero instead.
+        assert_eq!(rebase_mean(2.0, 100, 1.0, 101), 0.0);
+    }
+
+    fn blank_result() -> SimResult {
+        SimResult {
+            cycles: 0,
+            committed: 0,
+            loads_committed: 0,
+            stores_committed: 0,
+            branches_committed: 0,
+            branch_predictions: 0,
+            branch_mispredictions: 0,
+            violation_squashes: 0,
+            instructions_squashed: 0,
+            lq_occupancy: 0.0,
+            sq_occupancy: 0.0,
+            ooo_issued_loads: 0.0,
+            inflight_loads: 0.0,
+            lsq: LsqStats::new(4),
+            l1d_miss_rate: 0.0,
+            l2_miss_rate: 0.0,
+            hit_cycle_cap: false,
+            wall_nanos: 0,
+            sim_mips: 0.0,
+        }
     }
 
     #[test]
@@ -196,9 +350,32 @@ mod tests {
 
     #[test]
     fn matrix_runs_all_benchmarks() {
-        let tiny = RunSpec { warmup: 200, instrs: 800, seed: 1 };
+        let tiny = RunSpec {
+            warmup: 200,
+            instrs: 800,
+            seed: 1,
+        };
         let rows = run_matrix(&[LsqConfig::default()], false, tiny);
         assert_eq!(rows.len(), 18);
-        assert!(rows.iter().all(|(_, r)| (800..808).contains(&r[0].committed)));
+        assert!(rows
+            .iter()
+            .all(|(_, r)| (800..808).contains(&r[0].committed)));
+    }
+
+    #[test]
+    fn matrix_keeps_config_order_within_rows() {
+        let tiny = RunSpec {
+            warmup: 100,
+            instrs: 400,
+            seed: 1,
+        };
+        let one_port = LsqConfig::conventional(1);
+        let rows = run_matrix(&[LsqConfig::default(), one_port], false, tiny);
+        for (name, row) in &rows {
+            assert_eq!(row.len(), 2, "{name}");
+            // Identical results to running each point individually.
+            let lone = run_design_point(name, one_port, false, tiny);
+            assert_eq!(row[1].cycles, lone.cycles, "{name}");
+        }
     }
 }

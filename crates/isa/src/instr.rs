@@ -88,7 +88,10 @@ impl ArchReg {
     /// Panics if `num >= 32`.
     pub fn int(num: u8) -> Self {
         assert!(num < ARCH_REGS_PER_CLASS, "register number out of range");
-        Self { class: RegClass::Int, num }
+        Self {
+            class: RegClass::Int,
+            num,
+        }
     }
 
     /// A floating-point register.
@@ -98,7 +101,10 @@ impl ArchReg {
     /// Panics if `num >= 32`.
     pub fn fp(num: u8) -> Self {
         assert!(num < ARCH_REGS_PER_CLASS, "register number out of range");
-        Self { class: RegClass::Fp, num }
+        Self {
+            class: RegClass::Fp,
+            num,
+        }
     }
 
     /// A dense index in `0..64` combining class and number, for rename maps.
@@ -228,22 +234,50 @@ impl Instruction {
     /// Creates a non-memory, non-branch instruction of the given kind.
     pub fn op(pc: Pc, kind: InstrKind) -> Self {
         debug_assert!(!kind.is_mem() && !kind.is_branch());
-        Self { pc, kind, dst: None, srcs: [None, None], addr: Addr(0), taken: false }
+        Self {
+            pc,
+            kind,
+            dst: None,
+            srcs: [None, None],
+            addr: Addr(0),
+            taken: false,
+        }
     }
 
     /// Creates a load of `addr`.
     pub fn load(pc: Pc, addr: Addr) -> Self {
-        Self { pc, kind: InstrKind::Load, dst: None, srcs: [None, None], addr, taken: false }
+        Self {
+            pc,
+            kind: InstrKind::Load,
+            dst: None,
+            srcs: [None, None],
+            addr,
+            taken: false,
+        }
     }
 
     /// Creates a store to `addr`.
     pub fn store(pc: Pc, addr: Addr) -> Self {
-        Self { pc, kind: InstrKind::Store, dst: None, srcs: [None, None], addr, taken: false }
+        Self {
+            pc,
+            kind: InstrKind::Store,
+            dst: None,
+            srcs: [None, None],
+            addr,
+            taken: false,
+        }
     }
 
     /// Creates a conditional branch with actual outcome `taken`.
     pub fn branch(pc: Pc, taken: bool) -> Self {
-        Self { pc, kind: InstrKind::Branch, dst: None, srcs: [None, None], addr: Addr(0), taken }
+        Self {
+            pc,
+            kind: InstrKind::Branch,
+            dst: None,
+            srcs: [None, None],
+            addr: Addr(0),
+            taken,
+        }
     }
 
     /// Sets the destination register (builder style).

@@ -42,7 +42,11 @@ pub struct VecStream {
 impl VecStream {
     /// Wraps a vector of instructions as a stream.
     pub fn new(instrs: Vec<Instruction>) -> Self {
-        Self { instrs, pos: 0, name: "vec".to_string() }
+        Self {
+            instrs,
+            pos: 0,
+            name: "vec".to_string(),
+        }
     }
 
     /// Sets the reported workload name.

@@ -3,7 +3,7 @@
 use lsq_isa::Addr;
 
 /// Geometry and hit latency of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
     /// Total capacity in bytes (power of two).
     pub size_bytes: u64,
@@ -24,8 +24,14 @@ impl CacheConfig {
     /// Panics if the geometry is inconsistent (non-power-of-two sizes, or
     /// capacity not divisible by `ways * block_bytes`).
     pub fn sets(&self) -> usize {
-        assert!(self.size_bytes.is_power_of_two(), "size must be a power of two");
-        assert!(self.block_bytes.is_power_of_two(), "block must be a power of two");
+        assert!(
+            self.size_bytes.is_power_of_two(),
+            "size must be a power of two"
+        );
+        assert!(
+            self.block_bytes.is_power_of_two(),
+            "block must be a power of two"
+        );
         assert!(self.ways > 0, "ways must be non-zero");
         let lines = self.size_bytes / self.block_bytes;
         assert!(
@@ -114,7 +120,10 @@ impl Cache {
     #[inline]
     fn set_and_tag(&self, addr: Addr) -> (usize, u64) {
         let block = addr.block(self.cfg.block_bytes);
-        ((block % self.sets as u64) as usize, block / self.sets as u64)
+        (
+            (block % self.sets as u64) as usize,
+            block / self.sets as u64,
+        )
     }
 
     /// Accesses `addr`; returns `true` on a hit. On a miss the block is
@@ -141,7 +150,12 @@ impl Cache {
         if victim.valid && victim.dirty {
             self.stats.writebacks += 1;
         }
-        *victim = Line { tag, valid: true, dirty: write, lru: self.stamp };
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            lru: self.stamp,
+        };
         false
     }
 
@@ -173,7 +187,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 sets x 2 ways x 16B blocks = 64B.
-        Cache::new(CacheConfig { size_bytes: 64, ways: 2, block_bytes: 16, hit_latency: 1 })
+        Cache::new(CacheConfig {
+            size_bytes: 64,
+            ways: 2,
+            block_bytes: 16,
+            hit_latency: 1,
+        })
     }
 
     #[test]
@@ -252,14 +271,23 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_geometry_panics() {
-        let _ = Cache::new(CacheConfig { size_bytes: 60, ways: 2, block_bytes: 16, hit_latency: 1 });
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 60,
+            ways: 2,
+            block_bytes: 16,
+            hit_latency: 1,
+        });
     }
 
     #[test]
     fn fully_associative_degenerate_case() {
         // 1 set x 4 ways.
-        let mut c =
-            Cache::new(CacheConfig { size_bytes: 64, ways: 4, block_bytes: 16, hit_latency: 1 });
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 64,
+            ways: 4,
+            block_bytes: 16,
+            hit_latency: 1,
+        });
         for i in 0..4 {
             c.access(Addr(i * 16), false);
         }
@@ -273,8 +301,12 @@ mod tests {
     #[test]
     fn table1_l1_geometry() {
         // 64K 2-way 32B: 1024 sets.
-        let cfg =
-            CacheConfig { size_bytes: 64 * 1024, ways: 2, block_bytes: 32, hit_latency: 2 };
+        let cfg = CacheConfig {
+            size_bytes: 64 * 1024,
+            ways: 2,
+            block_bytes: 32,
+            hit_latency: 2,
+        };
         assert_eq!(cfg.sets(), 1024);
     }
 }

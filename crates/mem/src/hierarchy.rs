@@ -4,7 +4,7 @@ use crate::cache::{Cache, CacheConfig, CacheStats};
 use lsq_isa::Addr;
 
 /// Configuration of the full hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HierarchyConfig {
     /// L1 instruction cache (Table 1: 64K 2-way, 2-cycle, 32 B blocks).
     pub l1i: CacheConfig,
@@ -19,9 +19,24 @@ pub struct HierarchyConfig {
 impl Default for HierarchyConfig {
     fn default() -> Self {
         Self {
-            l1i: CacheConfig { size_bytes: 64 << 10, ways: 2, block_bytes: 32, hit_latency: 2 },
-            l1d: CacheConfig { size_bytes: 64 << 10, ways: 2, block_bytes: 32, hit_latency: 2 },
-            l2: CacheConfig { size_bytes: 2 << 20, ways: 8, block_bytes: 64, hit_latency: 12 },
+            l1i: CacheConfig {
+                size_bytes: 64 << 10,
+                ways: 2,
+                block_bytes: 32,
+                hit_latency: 2,
+            },
+            l1d: CacheConfig {
+                size_bytes: 64 << 10,
+                ways: 2,
+                block_bytes: 32,
+                hit_latency: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 2 << 20,
+                ways: 8,
+                block_bytes: 64,
+                hit_latency: 12,
+            },
             mem_latency: 150,
         }
     }
@@ -55,7 +70,12 @@ pub struct MemoryHierarchy {
 impl MemoryHierarchy {
     /// Builds an empty hierarchy.
     pub fn new(cfg: HierarchyConfig) -> Self {
-        Self { cfg, l1i: Cache::new(cfg.l1i), l1d: Cache::new(cfg.l1d), l2: Cache::new(cfg.l2) }
+        Self {
+            cfg,
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+        }
     }
 
     /// The configuration in use.
@@ -209,7 +229,7 @@ mod tests {
     fn l2_shared_between_i_and_d() {
         let mut m = MemoryHierarchy::new(HierarchyConfig::default());
         m.inst_fetch(Addr(0x10000)); // fills L2
-        // Data access to the same block: L1D miss, L2 hit.
+                                     // Data access to the same block: L1D miss, L2 hit.
         assert_eq!(m.data_access(Addr(0x10000), false), 14);
     }
 

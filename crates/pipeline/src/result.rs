@@ -42,6 +42,17 @@ pub struct SimResult {
     /// Whether the run ended by hitting the safety cycle cap rather than
     /// the instruction budget (indicates a deadlocked configuration).
     pub hit_cycle_cap: bool,
+    /// Host wall-clock nanoseconds spent producing this result. Zero when
+    /// the simulator is driven directly; the experiment engine fills it in
+    /// with the whole job's duration (warm-up included). Not a simulated
+    /// quantity — excluded from determinism comparisons.
+    pub wall_nanos: u64,
+    /// Simulated instructions (warm-up included) per host wall-clock
+    /// second, in millions. Zero when the simulator is driven directly;
+    /// filled in by the experiment engine alongside [`wall_nanos`].
+    ///
+    /// [`wall_nanos`]: SimResult::wall_nanos
+    pub sim_mips: f64,
 }
 
 impl SimResult {
@@ -98,6 +109,8 @@ mod tests {
             l1d_miss_rate: 0.0,
             l2_miss_rate: 0.0,
             hit_cycle_cap: false,
+            wall_nanos: 0,
+            sim_mips: 0.0,
         }
     }
 

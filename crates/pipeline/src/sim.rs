@@ -201,7 +201,8 @@ impl Simulator {
     fn sample(&mut self) {
         self.lq_occ.record(self.lsq.lq_occupancy() as f64);
         self.sq_occ.record(self.lsq.sq_occupancy() as f64);
-        self.ooo_loads.record(self.lsq.out_of_order_issued_loads() as f64);
+        self.ooo_loads
+            .record(self.lsq.out_of_order_issued_loads() as f64);
         self.inflight_loads.record(self.lsq.lq_occupancy() as f64);
     }
 
@@ -239,12 +240,15 @@ impl Simulator {
         while self.dcache_used < self.cfg.dcache_ports {
             match self.lsq.drain_store() {
                 StoreDrain::Idle | StoreDrain::Blocked => break,
-                StoreDrain::Drained { seq: _, addr, violation } => {
+                StoreDrain::Drained {
+                    seq: _,
+                    addr,
+                    violation,
+                } => {
                     self.dcache_used += 1;
                     self.mem.data_access(addr, true);
                     if let Some(victim) = violation {
-                        let penalty =
-                            self.cfg.mispredict_penalty + self.cfg.pair_recovery_extra;
+                        let penalty = self.cfg.mispredict_penalty + self.cfg.pair_recovery_extra;
                         self.squash(victim, penalty);
                         break;
                     }
@@ -255,7 +259,9 @@ impl Simulator {
 
     fn commit(&mut self) {
         for _ in 0..self.cfg.commit_width {
-            let Some(seq) = self.rob.head_seq() else { break };
+            let Some(seq) = self.rob.head_seq() else {
+                break;
+            };
             let e = *self.rob.front().expect("head exists");
             if e.state != State::Issued || e.complete_at > self.cycle {
                 break;
@@ -438,7 +444,9 @@ impl Simulator {
 
     fn dispatch(&mut self) {
         for _ in 0..self.cfg.dispatch_width {
-            let Some(f) = self.frontend.front().copied() else { break };
+            let Some(f) = self.frontend.front().copied() else {
+                break;
+            };
             if f.avail_at > self.cycle {
                 break;
             }
@@ -525,7 +533,11 @@ impl Simulator {
             }
             let gseq = self.next_fetch;
             self.next_fetch += 1;
-            self.frontend.push_back(Fetched { gseq, instr, avail_at: self.cycle + 1 });
+            self.frontend.push_back(Fetched {
+                gseq,
+                instr,
+                avail_at: self.cycle + 1,
+            });
             if instr.kind.is_branch() {
                 let correct = self.bp.predict_and_update(instr.pc, instr.taken);
                 if !correct {
@@ -587,12 +599,15 @@ impl Simulator {
             lsq: self.lsq.stats().clone(),
             l1d_miss_rate: self.mem.l1d_stats().miss_rate(),
             l2_miss_rate: self.mem.l2_stats().miss_rate(),
+            wall_nanos: 0,
+            sim_mips: 0.0,
             hit_cycle_cap,
         }
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // tests mutate one field of a default config
 mod tests {
     use super::*;
     use lsq_core::{LoadOrderPolicy, LsqConfig, PredictorKind};
@@ -626,8 +641,7 @@ mod tests {
 
     #[test]
     fn independent_alus_reach_high_ipc() {
-        let instrs: Vec<Instruction> =
-            (0..40_000).map(|i| alu(0x1000 + (i % 64) * 4)).collect();
+        let instrs: Vec<Instruction> = (0..40_000).map(|i| alu(0x1000 + (i % 64) * 4)).collect();
         let r = run_instrs(SimConfig::default(), instrs);
         assert!(r.ipc() > 5.0, "ipc {}", r.ipc());
     }
@@ -644,7 +658,11 @@ mod tests {
         }
         let r = run_instrs(SimConfig::default(), instrs);
         assert!(r.ipc() < 1.2, "serial chain ipc {}", r.ipc());
-        assert!(r.ipc() > 0.8, "back-to-back issue should sustain ~1 ipc, got {}", r.ipc());
+        assert!(
+            r.ipc() > 0.8,
+            "back-to-back issue should sustain ~1 ipc, got {}",
+            r.ipc()
+        );
     }
 
     #[test]
@@ -671,12 +689,8 @@ mod tests {
         let mut instrs = Vec::new();
         for i in 0..300u64 {
             let pc = 0x1000 + (i % 16) * 16;
-            instrs.push(
-                Instruction::op(Pc(pc), InstrKind::IntAlu).with_dst(ArchReg::int(2)),
-            );
-            instrs.push(
-                Instruction::store(Pc(pc + 4), Addr(0x40)).with_src(ArchReg::int(2)),
-            );
+            instrs.push(Instruction::op(Pc(pc), InstrKind::IntAlu).with_dst(ArchReg::int(2)));
+            instrs.push(Instruction::store(Pc(pc + 4), Addr(0x40)).with_src(ArchReg::int(2)));
             instrs.push(Instruction::load(Pc(pc + 8), Addr(0x40)).with_dst(ArchReg::int(3)));
         }
         let r = run_instrs(SimConfig::default(), instrs);
@@ -724,18 +738,14 @@ mod tests {
         for i in 0..200u64 {
             let pc = 0x1000 + (i % 8) * 32;
             // Long-latency producer feeding the store's address register.
-            instrs.push(
-                Instruction::op(Pc(pc), InstrKind::FpDiv).with_dst(ArchReg::fp(1)),
-            );
+            instrs.push(Instruction::op(Pc(pc), InstrKind::FpDiv).with_dst(ArchReg::fp(1)));
             instrs.push(
                 Instruction::op(Pc(pc + 4), InstrKind::IntAlu)
                     .with_dst(ArchReg::int(2))
                     .with_src(ArchReg::int(2)),
             );
             // Store waits on the FP producer via its data operand.
-            instrs.push(
-                Instruction::store(Pc(pc + 8), Addr(0x80)).with_src(ArchReg::fp(1)),
-            );
+            instrs.push(Instruction::store(Pc(pc + 8), Addr(0x80)).with_src(ArchReg::fp(1)));
             instrs.push(Instruction::load(Pc(pc + 12), Addr(0x80)).with_dst(ArchReg::int(4)));
         }
         let r = run_instrs(SimConfig::default(), instrs);
@@ -763,7 +773,10 @@ mod tests {
         }
         let r = run_instrs(cfg, instrs);
         assert_eq!(r.committed, 600);
-        assert!(r.lsq.commit_violations > 0, "pair mispredictions detected at commit");
+        assert!(
+            r.lsq.commit_violations > 0,
+            "pair mispredictions detected at commit"
+        );
     }
 
     #[test]
@@ -870,12 +883,9 @@ mod tests {
         for i in 0..1500u64 {
             let pc = 0x1000 + (i % 32) * 8;
             instrs.push(
-                Instruction::store(Pc(pc), Addr(0x40 + (i % 16) * 8))
-                    .with_src(ArchReg::int(1)),
+                Instruction::store(Pc(pc), Addr(0x40 + (i % 16) * 8)).with_src(ArchReg::int(1)),
             );
-            instrs.push(
-                Instruction::op(Pc(pc + 4), InstrKind::IntAlu).with_dst(ArchReg::int(1)),
-            );
+            instrs.push(Instruction::op(Pc(pc + 4), InstrKind::IntAlu).with_dst(ArchReg::int(1)));
         }
         let r = run_instrs(cfg, instrs);
         assert_eq!(r.committed, 3000);
@@ -899,9 +909,7 @@ mod tests {
             instrs.push(Instruction::store(Pc(pc), Addr(0x100)).with_src(ArchReg::int(2)));
             instrs.push(Instruction::store(Pc(pc + 4), Addr(0x108)).with_src(ArchReg::int(2)));
             instrs.push(Instruction::load(Pc(pc + 8), Addr(0x100)).with_dst(ArchReg::int(3)));
-            instrs.push(
-                Instruction::op(Pc(pc + 12), InstrKind::IntAlu).with_dst(ArchReg::int(2)),
-            );
+            instrs.push(Instruction::op(Pc(pc + 12), InstrKind::IntAlu).with_dst(ArchReg::int(2)));
         }
         let r = run_instrs(cfg, instrs);
         assert_eq!(r.committed, 3200);
@@ -948,22 +956,26 @@ mod tests {
                     .with_dst(ArchReg::int(1))
                     .with_src(ArchReg::int(1)),
             );
-            instrs.push(
-                Instruction::load(Pc(pc + 4), Addr(0x80)).with_src(ArchReg::int(1)),
-            );
+            instrs.push(Instruction::load(Pc(pc + 4), Addr(0x80)).with_src(ArchReg::int(1)));
             instrs.push(Instruction::load(Pc(pc + 8), Addr(0x80)));
         }
         let r = run_instrs(cfg, instrs);
         assert_eq!(r.committed, 9000);
         assert!(!r.hit_cycle_cap);
-        assert!(r.lsq.load_load_violations > 0, "OoO same-word loads must trap");
+        assert!(
+            r.lsq.load_load_violations > 0,
+            "OoO same-word loads must trap"
+        );
     }
 
     #[test]
     fn occupancy_statistics_are_sampled() {
         let mut instrs = Vec::new();
         for i in 0..500u64 {
-            instrs.push(Instruction::load(Pc(0x1000 + i * 4), Addr(0x4000 + (i % 32) * 8)));
+            instrs.push(Instruction::load(
+                Pc(0x1000 + i * 4),
+                Addr(0x4000 + (i % 32) * 8),
+            ));
         }
         let r = run_instrs(SimConfig::default(), instrs);
         assert!(r.lq_occupancy > 0.0);

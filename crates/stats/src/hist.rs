@@ -63,7 +63,11 @@ impl Histogram {
     /// Panics if `buckets` is zero.
     pub fn new(buckets: usize) -> Self {
         assert!(buckets > 0, "histogram needs at least one bucket");
-        Self { buckets: vec![0; buckets], overflow: 0, total: 0 }
+        Self {
+            buckets: vec![0; buckets],
+            overflow: 0,
+            total: 0,
+        }
     }
 
     /// Records one observation of `value`.
@@ -134,6 +138,31 @@ impl Histogram {
         }
         self.overflow += other.overflow;
         self.total += other.total;
+    }
+
+    /// Subtracts an earlier snapshot of this histogram, leaving only the
+    /// observations recorded since. The inverse of [`Histogram::merge`]:
+    /// used to remove a warm-up prefix from cumulative statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket counts differ or `earlier` is not a prefix
+    /// (some bucket, the overflow count, or the total would go negative).
+    pub fn subtract(&mut self, earlier: &Histogram) {
+        assert_eq!(self.buckets.len(), earlier.buckets.len(), "bucket mismatch");
+        for (a, b) in self.buckets.iter_mut().zip(&earlier.buckets) {
+            *a = a
+                .checked_sub(*b)
+                .expect("subtrahend is not a prefix snapshot");
+        }
+        self.overflow = self
+            .overflow
+            .checked_sub(earlier.overflow)
+            .expect("subtrahend is not a prefix snapshot");
+        self.total = self
+            .total
+            .checked_sub(earlier.total)
+            .expect("subtrahend is not a prefix snapshot");
     }
 }
 
@@ -215,6 +244,32 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.bucket(2), 2);
         assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    fn histogram_subtract_inverts_a_prefix() {
+        let mut snap = Histogram::new(3);
+        snap.record(0);
+        snap.record(9);
+        let mut h = snap.clone();
+        h.record(1);
+        h.record(2);
+        h.subtract(&snap);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bucket(0), 0);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(2), 1);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a prefix snapshot")]
+    fn histogram_subtract_rejects_non_prefix() {
+        let mut later = Histogram::new(2);
+        later.record(0);
+        let mut earlier = Histogram::new(2);
+        earlier.record(1);
+        later.subtract(&earlier);
     }
 
     #[test]

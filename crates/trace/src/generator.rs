@@ -44,7 +44,9 @@ impl TraceGenerator {
             name: name.into(),
             rng: Xoshiro256::seed_from_u64(mix64(seed ^ 0x5eed_7ace)),
             stream_cursors: vec![0; prog.stream_regions],
-            slot_addrs: (0..slots).map(|s| SLOT_BASE + s as u64 * SLOT_SPAN).collect(),
+            slot_addrs: (0..slots)
+                .map(|s| SLOT_BASE + s as u64 * SLOT_SPAN)
+                .collect(),
             prog,
             block: 0,
             pos: 0,
@@ -68,7 +70,10 @@ impl TraceGenerator {
         let mut v = Vec::new();
         v.push((HEAP_BASE, self.prog.ws_bytes));
         for r in 0..self.prog.stream_regions {
-            v.push((STREAM_BASE + r as u64 * STREAM_REGION_SPAN, self.prog.stream_bytes));
+            v.push((
+                STREAM_BASE + r as u64 * STREAM_REGION_SPAN,
+                self.prog.stream_bytes,
+            ));
         }
         v.push((SLOT_BASE, self.prog.slots as u64 * SLOT_SPAN));
         v
@@ -76,12 +81,7 @@ impl TraceGenerator {
 
     /// The code region, as `(base, bytes)`.
     pub fn code_region(&self) -> (u64, u64) {
-        let instrs: usize = self
-            .prog
-            .blocks
-            .iter()
-            .map(|b| b.body.len() + 1)
-            .sum();
+        let instrs: usize = self.prog.blocks.iter().map(|b| b.body.len() + 1).sum();
         (crate::program::CODE_BASE, (instrs as u64 + 8) * 4)
     }
 
@@ -89,7 +89,8 @@ impl TraceGenerator {
         match inst.pattern.expect("memory instruction has a pattern") {
             AccessPattern::Stream { region } => {
                 let idx = region % self.stream_cursors.len();
-                let addr = STREAM_BASE + region as u64 * STREAM_REGION_SPAN + self.stream_cursors[idx];
+                let addr =
+                    STREAM_BASE + region as u64 * STREAM_REGION_SPAN + self.stream_cursors[idx];
                 self.stream_cursors[idx] =
                     (self.stream_cursors[idx] + self.prog.stride) % self.prog.stream_bytes;
                 Addr(addr)
@@ -278,7 +279,10 @@ mod tests {
                 let in_stream = (STREAM_BASE..HEAP_BASE).contains(&a);
                 let in_heap = (HEAP_BASE..SLOT_BASE).contains(&a);
                 let in_slots = a >= SLOT_BASE;
-                assert!(in_stream || in_heap || in_slots, "address {a:#x} out of regions");
+                assert!(
+                    in_stream || in_heap || in_slots,
+                    "address {a:#x} out of regions"
+                );
             } else {
                 assert_eq!(i.addr.0, 0);
             }
@@ -293,7 +297,10 @@ mod tests {
             *by_pc.entry(i.pc.0).or_default() += 1;
         }
         let max = by_pc.values().max().copied().unwrap_or(0);
-        assert!(max > 100, "loops must revisit static PCs (max repeat {max})");
+        assert!(
+            max > 100,
+            "loops must revisit static PCs (max repeat {max})"
+        );
     }
 
     #[test]
@@ -365,7 +372,10 @@ mod tests {
         let branches: Vec<&Instruction> = v.iter().filter(|i| i.kind.is_branch()).collect();
         let taken = branches.iter().filter(|b| b.taken).count();
         let frac = taken as f64 / branches.len() as f64;
-        assert!(frac > 0.8, "loopy FP code is mostly taken branches ({frac:.3})");
+        assert!(
+            frac > 0.8,
+            "loopy FP code is mostly taken branches ({frac:.3})"
+        );
     }
 
     #[test]
@@ -377,7 +387,9 @@ mod tests {
             let i = g.next_instr().unwrap();
             if i.kind.is_mem() {
                 assert!(
-                    regions.iter().any(|&(b, len)| (b..b + len.max(64)).contains(&i.addr.0)),
+                    regions
+                        .iter()
+                        .any(|&(b, len)| (b..b + len.max(64)).contains(&i.addr.0)),
                     "address {:#x} outside declared regions",
                     i.addr.0
                 );

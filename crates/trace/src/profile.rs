@@ -657,7 +657,11 @@ mod tests {
         for p in BenchProfile::all() {
             assert!(p.loads + p.stores + p.branches < 0.8, "{}", p.name);
             let lw = p.load_stream + p.load_random + p.load_chase + p.load_slot;
-            assert!((lw - 1.0).abs() < 1e-9, "{} load weights sum to {lw}", p.name);
+            assert!(
+                (lw - 1.0).abs() < 1e-9,
+                "{} load weights sum to {lw}",
+                p.name
+            );
             assert!(p.store_stream + p.store_slot <= 1.0 + 1e-9, "{}", p.name);
             assert!(p.store_random() >= 0.0);
             assert!((0.0..=1.0).contains(&p.slot_match_p));

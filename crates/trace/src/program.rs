@@ -223,14 +223,22 @@ impl StaticProgram {
                 let spread = (profile.loop_mean / 2).max(1);
                 let count = profile.loop_mean + rng.range_u64(u64::from(spread)) as u32;
                 pc += 4;
-                BlockEnd::Loop { count: count.max(2) }
+                BlockEnd::Loop {
+                    count: count.max(2),
+                }
             } else if rng.chance(0.85) {
                 pc += 4;
-                BlockEnd::Conditional { bias: profile.branch_bias }
+                BlockEnd::Conditional {
+                    bias: profile.branch_bias,
+                }
             } else {
                 BlockEnd::FallThrough
             };
-            blocks.push(StaticBlock { body, end, branch_pc });
+            blocks.push(StaticBlock {
+                body,
+                end,
+                branch_pc,
+            });
         }
 
         Self {
@@ -320,13 +328,20 @@ impl StaticProgram {
             // but real — it is what keeps load issue roughly following
             // dataflow order, and hence the number of out-of-order-issued
             // loads small (the paper's Table 4 measures < 3 on average).
-            AccessPattern::Slot { .. }
-            | AccessPattern::Stream { .. }
-            | AccessPattern::Random => [pick_near(rng, recent_addr), None],
+            AccessPattern::Slot { .. } | AccessPattern::Stream { .. } | AccessPattern::Random => {
+                [pick_near(rng, recent_addr), None]
+            }
         };
-        StaticInst { pc, kind: InstrKind::Load, dst: Some(dst), srcs, pattern: Some(pattern) }
+        StaticInst {
+            pc,
+            kind: InstrKind::Load,
+            dst: Some(dst),
+            srcs,
+            pattern: Some(pattern),
+        }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn make_store(
         profile: &BenchProfile,
         rng: &mut Xoshiro256,
@@ -338,7 +353,11 @@ impl StaticProgram {
         next_slot: &mut usize,
         recent_store_slots: &mut Vec<usize>,
     ) -> StaticInst {
-        let w = [profile.store_stream, profile.store_slot, profile.store_random()];
+        let w = [
+            profile.store_stream,
+            profile.store_slot,
+            profile.store_random(),
+        ];
         let pattern = match rng.weighted(&w).unwrap_or(1) {
             0 => {
                 let region = *next_stream % profile.stream_regions.max(1);
@@ -408,14 +427,24 @@ impl StaticProgram {
         // dependence that bounds a block's per-iteration ILP, like
         // reductions and induction updates in real loops.
         if rng.chance(profile.dep_short_p) {
-            let acc = if fp { ArchReg::fp(ACC_REG) } else { ArchReg::int(ACC_REG) };
+            let acc = if fp {
+                ArchReg::fp(ACC_REG)
+            } else {
+                ArchReg::int(ACC_REG)
+            };
             let recent = if fp { recent_fp } else { recent_int };
             let s1 = if rng.chance(profile.src_density) {
                 pick_src(rng, recent)
             } else {
                 None
             };
-            return StaticInst { pc, kind, dst: Some(acc), srcs: [Some(acc), s1], pattern: None };
+            return StaticInst {
+                pc,
+                kind,
+                dst: Some(acc),
+                srcs: [Some(acc), s1],
+                pattern: None,
+            };
         }
         let (dst, recent) = if fp {
             (alloc_reg(next_fp, recent_fp, true), recent_fp)
@@ -437,7 +466,13 @@ impl StaticProgram {
         } else {
             None
         };
-        StaticInst { pc, kind, dst: Some(dst), srcs: [s0, s1], pattern: None }
+        StaticInst {
+            pc,
+            kind,
+            dst: Some(dst),
+            srcs: [s0, s1],
+            pattern: None,
+        }
     }
 
     /// Total static instructions (bodies plus branches).
@@ -467,7 +502,11 @@ const ACC_REG: u8 = 30;
 fn alloc_reg(next: &mut u8, recent: &mut Vec<ArchReg>, fp: bool) -> ArchReg {
     let num = *next;
     *next = if *next >= GENERAL_REGS { 1 } else { *next + 1 };
-    let reg = if fp { ArchReg::fp(num) } else { ArchReg::int(num) };
+    let reg = if fp {
+        ArchReg::fp(num)
+    } else {
+        ArchReg::int(num)
+    };
     recent.push(reg);
     if recent.len() > 64 {
         recent.remove(0);

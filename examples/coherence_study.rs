@@ -11,6 +11,8 @@
 //! cargo run --release --example coherence_study [bench]
 //! ```
 
+#![allow(clippy::field_reassign_with_default)] // configs tweak one field of a default
+
 use lsq::core::LoadOrderPolicy;
 use lsq::prelude::*;
 
@@ -26,7 +28,9 @@ fn run(bench: &str, lsq_cfg: LsqConfig, inval_rate: f64) -> lsq::pipeline::SimRe
 }
 
 fn main() {
-    let bench = std::env::args().nth(1).unwrap_or_else(|| "twolf".to_string());
+    let bench = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "twolf".to_string());
 
     println!("R10000-style invalidation squashes (scheme 2) on `{bench}`\n");
     println!(

@@ -22,7 +22,9 @@ fn run(bench: &str, lsq_cfg: LsqConfig) -> lsq::pipeline::SimResult {
 }
 
 fn main() {
-    let bench = std::env::args().nth(1).unwrap_or_else(|| "perl".to_string());
+    let bench = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "perl".to_string());
     println!("LSQ search-port sweep on `{bench}`\n");
     println!(
         "{:<28} {:>5} {:>12} {:>12} {:>12}",

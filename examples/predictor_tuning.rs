@@ -18,10 +18,15 @@ fn run(bench: &str, lsq_cfg: LsqConfig) -> lsq::pipeline::SimResult {
 }
 
 fn main() {
-    let bench = std::env::args().nth(1).unwrap_or_else(|| "vortex".to_string());
+    let bench = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "vortex".to_string());
     let base = run(&bench, LsqConfig::conventional(1));
     println!("pair-predictor hardware budget on `{bench}` (1-ported LSQ)\n");
-    println!("baseline (conventional, all loads search): IPC {:.2}\n", base.ipc());
+    println!(
+        "baseline (conventional, all loads search): IPC {:.2}\n",
+        base.ipc()
+    );
 
     println!("SSIT size sweep (counter = 3 bits):");
     println!(
@@ -43,7 +48,10 @@ fn main() {
     }
 
     println!("\ncounter width sweep (SSIT = 4K; width 0 emulates the single valid bit):");
-    println!("{:>8} {:>6} {:>12} {:>10}", "bits", "IPC", "SQ searches", "squashes");
+    println!(
+        "{:>8} {:>6} {:>12} {:>10}",
+        "bits", "IPC", "SQ searches", "squashes"
+    );
     for bits in [0u8, 1, 2, 3, 4] {
         let mut cfg = LsqConfig::with_techniques(1);
         cfg.counter_max = (1u16 << bits).saturating_sub(1).min(255) as u8;

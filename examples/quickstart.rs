@@ -26,21 +26,40 @@ fn main() {
     let result = sim.run(&mut stream, 200_000);
 
     println!("benchmark        : {}", profile.name);
-    println!("class            : {}", if profile.fp { "floating-point" } else { "integer" });
+    println!(
+        "class            : {}",
+        if profile.fp {
+            "floating-point"
+        } else {
+            "integer"
+        }
+    );
     println!("instructions     : {}", result.committed);
     println!("cycles           : {}", result.cycles);
     println!("IPC              : {:.2}", result.ipc());
-    println!("branch mispredict: {:.2}%", result.branch_mispredict_rate() * 100.0);
+    println!(
+        "branch mispredict: {:.2}%",
+        result.branch_mispredict_rate() * 100.0
+    );
     println!("L1D miss rate    : {:.2}%", result.l1d_miss_rate * 100.0);
     println!();
     println!("load/store queue activity:");
     println!("  loads issued          : {}", result.lsq.loads_issued);
     println!("  SQ searches (by loads): {}", result.lsq.sq_searches);
     println!("  ... that forwarded    : {}", result.lsq.sq_search_hits);
-    println!("  LQ searches by stores : {}", result.lsq.lq_searches_by_stores);
-    println!("  LQ searches by loads  : {}", result.lsq.lq_searches_by_loads);
+    println!(
+        "  LQ searches by stores : {}",
+        result.lsq.lq_searches_by_stores
+    );
+    println!(
+        "  LQ searches by loads  : {}",
+        result.lsq.lq_searches_by_loads
+    );
     println!("  order violations      : {}", result.lsq.violations);
     println!("  avg LQ occupancy      : {:.1} / 32", result.lq_occupancy);
     println!("  avg SQ occupancy      : {:.1} / 32", result.sq_occupancy);
-    println!("  OoO-issued loads      : {:.1} (why a tiny load buffer suffices)", result.ooo_issued_loads);
+    println!(
+        "  OoO-issued loads      : {:.1} (why a tiny load buffer suffices)",
+        result.ooo_issued_loads
+    );
 }

@@ -11,7 +11,11 @@ use lsq::prelude::*;
 fn run(bench: &str, scaled: bool, lsq_cfg: LsqConfig) -> lsq::pipeline::SimResult {
     let profile = BenchProfile::named(bench).expect("known benchmark");
     let mut stream = profile.stream(1);
-    let cfg = if scaled { SimConfig::scaled(lsq_cfg) } else { SimConfig::with_lsq(lsq_cfg) };
+    let cfg = if scaled {
+        SimConfig::scaled(lsq_cfg)
+    } else {
+        SimConfig::with_lsq(lsq_cfg)
+    };
     let mut sim = Simulator::new(cfg);
     sim.prewarm(&stream.data_regions(), stream.code_region());
     let _ = sim.run(&mut stream, 60_000);

@@ -30,10 +30,15 @@ fn seg(segments: usize, entries: usize) -> LsqConfig {
 }
 
 fn main() {
-    let bench = std::env::args().nth(1).unwrap_or_else(|| "equake".to_string());
+    let bench = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "equake".to_string());
     let base = run(&bench, LsqConfig::default());
     println!("segmentation sweep on `{bench}` (self-circular; speedup vs 32-entry base)\n");
-    println!("{:<22} {:>9} {:>9} {:>14} {:>12}", "design", "capacity", "speedup", "1-seg searches", "IPC");
+    println!(
+        "{:<22} {:>9} {:>9} {:>14} {:>12}",
+        "design", "capacity", "speedup", "1-seg searches", "IPC"
+    );
 
     let report = |label: String, r: &lsq::pipeline::SimResult, capacity: usize| {
         println!(

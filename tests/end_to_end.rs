@@ -2,6 +2,8 @@
 //! workloads, checking determinism, accounting invariants, and that every
 //! benchmark and LSQ design point drives to completion.
 
+#![allow(clippy::field_reassign_with_default)] // tests mutate one field of a default config
+
 use lsq::core::{LoadOrderPolicy, LsqConfig, PredictorKind, SegAlloc};
 use lsq::prelude::*;
 
@@ -50,12 +52,30 @@ fn every_design_point_completes() {
     let designs = [
         LsqConfig::conventional(1),
         LsqConfig::conventional(4),
-        LsqConfig { predictor: PredictorKind::Perfect, ..LsqConfig::default() },
-        LsqConfig { predictor: PredictorKind::Aggressive, ..LsqConfig::default() },
-        LsqConfig { predictor: PredictorKind::Pair, ..LsqConfig::default() },
-        LsqConfig { load_order: LoadOrderPolicy::InOrderAlwaysSearch, ..LsqConfig::default() },
-        LsqConfig { load_order: LoadOrderPolicy::InOrderNoSearch, ..LsqConfig::default() },
-        LsqConfig { load_order: LoadOrderPolicy::LoadBuffer(2), ..LsqConfig::default() },
+        LsqConfig {
+            predictor: PredictorKind::Perfect,
+            ..LsqConfig::default()
+        },
+        LsqConfig {
+            predictor: PredictorKind::Aggressive,
+            ..LsqConfig::default()
+        },
+        LsqConfig {
+            predictor: PredictorKind::Pair,
+            ..LsqConfig::default()
+        },
+        LsqConfig {
+            load_order: LoadOrderPolicy::InOrderAlwaysSearch,
+            ..LsqConfig::default()
+        },
+        LsqConfig {
+            load_order: LoadOrderPolicy::InOrderNoSearch,
+            ..LsqConfig::default()
+        },
+        LsqConfig {
+            load_order: LoadOrderPolicy::LoadBuffer(2),
+            ..LsqConfig::default()
+        },
         LsqConfig::segmented(SegAlloc::NoSelfCircular),
         LsqConfig::segmented(SegAlloc::SelfCircular),
         LsqConfig::with_techniques(1),
@@ -85,8 +105,16 @@ fn committed_mix_matches_profile() {
     let r = run("vortex", LsqConfig::default(), 20_000, 1);
     let loads = r.loads_committed as f64 / r.committed as f64;
     let stores = r.stores_committed as f64 / r.committed as f64;
-    assert!((loads - p.loads).abs() < 0.06, "load mix {loads:.3} vs {:.3}", p.loads);
-    assert!((stores - p.stores).abs() < 0.06, "store mix {stores:.3} vs {:.3}", p.stores);
+    assert!(
+        (loads - p.loads).abs() < 0.06,
+        "load mix {loads:.3} vs {:.3}",
+        p.loads
+    );
+    assert!(
+        (stores - p.stores).abs() < 0.06,
+        "store mix {stores:.3} vs {:.3}",
+        p.stores
+    );
 }
 
 #[test]
@@ -129,7 +157,10 @@ fn load_buffer_eliminates_load_queue_searches_by_loads() {
     let r = run("mgrid", cfg, 10_000, 1);
     assert_eq!(r.lsq.lq_searches_by_loads, 0);
     assert!(r.lsq.lb_searches > 0);
-    assert!(r.lsq.lq_searches_by_stores > 0, "store violation searches remain");
+    assert!(
+        r.lsq.lq_searches_by_stores > 0,
+        "store violation searches remain"
+    );
 }
 
 #[test]

@@ -25,16 +25,29 @@ fn run(bench: &str, lsq_cfg: LsqConfig) -> lsq::pipeline::SimResult {
 fn fig6_shape_predictors_cut_sq_demand() {
     for bench in ["gcc", "mgrid"] {
         let base = run(bench, LsqConfig::default());
-        let perfect =
-            run(bench, LsqConfig { predictor: PredictorKind::Perfect, ..LsqConfig::default() });
-        let pair =
-            run(bench, LsqConfig { predictor: PredictorKind::Pair, ..LsqConfig::default() });
+        let perfect = run(
+            bench,
+            LsqConfig {
+                predictor: PredictorKind::Perfect,
+                ..LsqConfig::default()
+            },
+        );
+        let pair = run(
+            bench,
+            LsqConfig {
+                predictor: PredictorKind::Pair,
+                ..LsqConfig::default()
+            },
+        );
         let b = base.lsq.sq_searches as f64;
         let p = perfect.lsq.sq_searches as f64 / b;
         let q = pair.lsq.sq_searches as f64 / b;
         assert!(p < 0.6, "{bench}: perfect demand {p:.2}");
         assert!(q < 0.8, "{bench}: pair demand {q:.2}");
-        assert!(p <= q + 0.05, "{bench}: perfect ({p:.2}) must not exceed pair ({q:.2})");
+        assert!(
+            p <= q + 0.05,
+            "{bench}: perfect ({p:.2}) must not exceed pair ({q:.2})"
+        );
     }
 }
 
@@ -42,7 +55,10 @@ fn fig6_shape_predictors_cut_sq_demand() {
 /// searches; mgrid (load-heavy) reduces more than vortex (store-heavy).
 #[test]
 fn fig8_shape_load_buffer_cuts_lq_demand() {
-    let lb = LsqConfig { load_order: LoadOrderPolicy::LoadBuffer(2), ..LsqConfig::default() };
+    let lb = LsqConfig {
+        load_order: LoadOrderPolicy::LoadBuffer(2),
+        ..LsqConfig::default()
+    };
     let mut ratios = std::collections::HashMap::new();
     for bench in ["mgrid", "vortex"] {
         let base = run(bench, LsqConfig::default());
@@ -64,7 +80,10 @@ fn fig8_shape_load_buffer_cuts_lq_demand() {
 #[test]
 fn fig9_shape_load_buffer_sizing() {
     let bench = "equake";
-    let mk = |o| LsqConfig { load_order: o, ..LsqConfig::default() };
+    let mk = |o| LsqConfig {
+        load_order: o,
+        ..LsqConfig::default()
+    };
     let in_order = run(bench, mk(LoadOrderPolicy::InOrderAlwaysSearch));
     let lb2 = run(bench, mk(LoadOrderPolicy::LoadBuffer(2)));
     let lb4 = run(bench, mk(LoadOrderPolicy::LoadBuffer(4)));
@@ -134,14 +153,21 @@ fn table6_shape_searches_stay_local() {
     let r = run("gcc", LsqConfig::segmented(SegAlloc::SelfCircular));
     let h = &r.lsq.seg_search_hist;
     let within_two = h.fraction(0) + h.fraction(1);
-    assert!(within_two > 0.8, "within-two-segments fraction {within_two:.2}");
+    assert!(
+        within_two > 0.8,
+        "within-two-segments fraction {within_two:.2}"
+    );
 }
 
 /// Table 5 shape: FP streaming codes need far more queue entries than
 /// compact INT codes.
 #[test]
 fn table5_shape_fp_wants_more_capacity() {
-    let unclamped = LsqConfig { lq_entries: 256, sq_entries: 256, ..LsqConfig::default() };
+    let unclamped = LsqConfig {
+        lq_entries: 256,
+        sq_entries: 256,
+        ..LsqConfig::default()
+    };
     let int = run("gcc", unclamped);
     let fp = run("mgrid", unclamped);
     assert!(

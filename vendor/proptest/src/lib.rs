@@ -1,0 +1,622 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! This workspace builds in hermetic environments with no access to a
+//! crates.io mirror, so the real `proptest` cannot be fetched. This crate
+//! implements the subset of its API the test suite uses — the `proptest!`,
+//! `prop_oneof!`, `prop_assert!`, and `prop_assert_eq!` macros, integer
+//! range / `any` / `Just` / tuple / mapped / collection strategies, and a
+//! deterministic case runner — with compatible surface syntax, so the test
+//! files compile unchanged against either implementation. It is wired in
+//! via `[patch.crates-io]` in the workspace `Cargo.toml`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs
+//!   verbatim (they are `Debug`-printed in the panic message) instead of a
+//!   minimized counterexample.
+//! * **No persistence.** `*.proptest-regressions` seed files are neither
+//!   read nor written; their RNG seeds are only meaningful to the real
+//!   crate's generators. The checked-in seed files are kept so switching
+//!   back to upstream proptest replays them.
+//! * **Deterministic seeding.** Case seeds derive from the test's module
+//!   path, so every run explores the same inputs. Set `PROPTEST_SEED` to
+//!   an integer to explore a different universe, and `PROPTEST_CASES` to
+//!   override the case count globally.
+
+pub mod rng {
+    //! Deterministic RNG for case generation (splitmix64).
+
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    /// A tiny deterministic RNG handed to strategies during generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates an RNG from a seed.
+        pub fn new(seed: u64) -> Self {
+            Self { state: seed }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(GOLDEN);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..n` (`n > 0`; modulo bias is acceptable
+        /// for test-case generation).
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "empty range");
+            self.next_u64() % n
+        }
+
+        /// Fair coin flip.
+        pub fn next_bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies (no shrinking).
+
+    use crate::rng::TestRng;
+    use std::marker::PhantomData;
+
+    /// Generates values of `Self::Value` from an RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Object-safe strategy view, used by [`Union`] (`prop_oneof!`).
+    pub trait DynStrategy<V> {
+        /// Generates one value.
+        fn generate_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_bool()
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                #[allow(clippy::cast_possible_truncation)]
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy for any value of `T` (see [`any`]).
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Generates any value of an [`Arbitrary`] type.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (self.start as i128, self.end as i128);
+                    assert!(lo < hi, "empty range strategy {lo}..{hi}");
+                    let span = (hi - lo) as u64;
+                    (lo + rng.below(span) as i128) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy {lo}..={hi}");
+                    let span = (hi - lo + 1) as u64;
+                    (lo + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E));
+
+    /// Weighted choice between strategies of a common value type; built
+    /// by the `prop_oneof!` macro.
+    pub struct Union<V> {
+        arms: Vec<(u32, Box<dyn DynStrategy<V>>)>,
+        total: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union from `(weight, strategy)` arms.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the arms are empty or all weights are zero.
+        pub fn new(arms: Vec<(u32, Box<dyn DynStrategy<V>>)>) -> Self {
+            let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs a non-zero total weight");
+            Self { arms, total }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.arms {
+                let w = u64::from(*w);
+                if pick < w {
+                    return s.generate_dyn(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weight bookkeeping");
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Generates `Vec`s of `element` values with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The case loop behind the `proptest!` macro.
+
+    use crate::rng::TestRng;
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to generate and run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases (the `PROPTEST_CASES`
+        /// environment variable overrides it).
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases: env_u64("PROPTEST_CASES").map_or(cases, |v| v as u32),
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self::with_cases(256)
+        }
+    }
+
+    /// Why a case failed (only assertion failures; the stub has no
+    /// rejection/filtering machinery).
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// A `prop_assert!`-family assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+    }
+
+    fn env_u64(name: &str) -> Option<u64> {
+        std::env::var(name).ok().and_then(|v| v.parse().ok())
+    }
+
+    /// Stable per-test base seed: FNV-1a of the test path, XORed with the
+    /// optional `PROPTEST_SEED` universe selector.
+    pub fn seed_for(test_path: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^ env_u64("PROPTEST_SEED").unwrap_or(0)
+    }
+
+    /// Outcome of one case body: panicked, failed an assertion, or passed.
+    pub type CaseOutcome = std::thread::Result<Result<(), TestCaseError>>;
+
+    /// Runs `config.cases` cases. `case` receives the per-case RNG and
+    /// returns the `Debug`-rendered inputs plus the body outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the surrounding `#[test]`) on the first case whose
+    /// body panics or returns an assertion failure, echoing the inputs.
+    pub fn run_cases<F>(config: ProptestConfig, test_path: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> (String, CaseOutcome),
+    {
+        let base = seed_for(test_path);
+        for i in 0..config.cases {
+            let seed = base.wrapping_add(u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = TestRng::new(seed);
+            let (inputs, outcome) = case(&mut rng);
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(TestCaseError::Fail(msg))) => panic!(
+                    "proptest case failed: {test_path} (case {i}, seed {seed:#x})\n  \
+                     inputs: {inputs}\n  {msg}"
+                ),
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                    panic!(
+                        "proptest case panicked: {test_path} (case {i}, seed {seed:#x})\n  \
+                         inputs: {inputs}\n  panic: {msg}"
+                    )
+                }
+            }
+        }
+    }
+}
+
+/// Re-exports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, Just, Map, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Mirrors the `proptest::prop` module path (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Defines property tests. Mirrors upstream syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u64..100, flips in prop::collection::vec(any::<bool>(), 1..20)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                $crate::test_runner::run_cases(
+                    $config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__proptest_rng| {
+                        $(
+                            let $arg =
+                                $crate::strategy::Strategy::generate(&($strat), __proptest_rng);
+                        )+
+                        let __proptest_inputs = {
+                            let mut __d = ::std::string::String::new();
+                            $(
+                                __d.push_str(stringify!($arg));
+                                __d.push_str(" = ");
+                                __d.push_str(&::std::format!("{:?}", &$arg));
+                                __d.push_str("; ");
+                            )+
+                            __d
+                        };
+                        let __proptest_outcome = ::std::panic::catch_unwind(
+                            ::std::panic::AssertUnwindSafe(
+                                move || -> ::core::result::Result<
+                                    (),
+                                    $crate::test_runner::TestCaseError,
+                                > {
+                                    $body
+                                    ::core::result::Result::Ok(())
+                                },
+                            ),
+                        );
+                        (__proptest_inputs, __proptest_outcome)
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $( $(#[$attr])* fn $name($($arg in $strat),+) $body )*
+        }
+    };
+}
+
+/// Weighted (or unweighted) choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((
+                $weight as u32,
+                ::std::boxed::Box::new($strat)
+                    as ::std::boxed::Box<dyn $crate::strategy::DynStrategy<_>>,
+            )),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+/// Asserts inside a `proptest!` body; failure aborts only the current
+/// case, reporting the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{}` == `{}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{} (left: `{:?}`, right: `{:?}`)",
+            ::std::format!($($fmt)*),
+            __l,
+            __r
+        );
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{}` != `{}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::rng::TestRng;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let (mut a, mut b) = (TestRng::new(7), TestRng::new(7));
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3u8..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let w = Strategy::generate(&(-5i32..5), &mut rng);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let mut rng = TestRng::new(2);
+        let strat = crate::collection::vec(any::<bool>(), 2..6);
+        for _ in 0..200 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_respects_zero_weight_absence() {
+        let mut rng = TestRng::new(3);
+        let strat = prop_oneof![3 => Just(1u8), 1 => Just(2u8)];
+        let mut seen = [0u32; 3];
+        for _ in 0..400 {
+            seen[Strategy::generate(&strat, &mut rng) as usize] += 1;
+        }
+        assert_eq!(seen[0], 0);
+        assert!(seen[1] > seen[2], "weights respected: {seen:?}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(x in 0u64..50, v in crate::collection::vec(0u8..4, 1..10)) {
+            prop_assert!(x < 50);
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            prop_assert!(v.iter().all(|&b| b < 4), "out of range: {v:?}");
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run_cases(
+                ProptestConfig::with_cases(10),
+                "stub::always_fails",
+                |rng| {
+                    let x = Strategy::generate(&(0u8..10), rng);
+                    let inputs = format!("x = {x:?}; ");
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        move || -> Result<(), TestCaseError> {
+                            prop_assert!(x >= 10, "x too small");
+                            Ok(())
+                        },
+                    ));
+                    (inputs, out)
+                },
+            );
+        });
+        let msg = *result
+            .expect_err("must fail")
+            .downcast::<String>()
+            .expect("string");
+        assert!(msg.contains("x ="), "inputs echoed: {msg}");
+        assert!(msg.contains("x too small"), "message echoed: {msg}");
+    }
+}
