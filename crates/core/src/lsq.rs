@@ -30,6 +30,7 @@ use crate::segmented::{Placement, PortBook, SegmentedAlloc};
 use crate::stats::LsqStats;
 use crate::store_set::{Ssid, StoreSetPredictor};
 use lsq_isa::{Addr, Pc};
+use lsq_obs::{Event, MemOp, NopTracer, QueueSide, Tracer};
 use std::collections::VecDeque;
 
 /// Outcome of a load trying to issue this cycle.
@@ -135,8 +136,12 @@ struct SqEntry {
 }
 
 /// The configurable load/store queue model.
+///
+/// The `T` parameter is the trace sink; the default [`NopTracer`]
+/// monomorphizes every emission site away, so untraced queues compile
+/// to the pre-tracing code.
 #[derive(Debug, Clone)]
-pub struct Lsq {
+pub struct Lsq<T: Tracer = NopTracer> {
     cfg: LsqConfig,
     pred: StoreSetPredictor,
     lb: Option<LoadBuffer>,
@@ -147,15 +152,27 @@ pub struct Lsq {
     lq_ports: PortBook,
     sq_ports: PortBook,
     stats: LsqStats,
+    tracer: T,
 }
 
-impl Lsq {
-    /// Builds an LSQ for the given design point.
+impl Lsq<NopTracer> {
+    /// Builds an untraced LSQ for the given design point.
     ///
     /// # Errors
     ///
     /// Returns the validation error of an inconsistent [`LsqConfig`].
     pub fn new(cfg: LsqConfig) -> Result<Self, ConfigError> {
+        Self::with_tracer(cfg, NopTracer)
+    }
+}
+
+impl<T: Tracer> Lsq<T> {
+    /// Builds an LSQ emitting queue events to `tracer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error of an inconsistent [`LsqConfig`].
+    pub fn with_tracer(cfg: LsqConfig, tracer: T) -> Result<Self, ConfigError> {
         cfg.validate()?;
         let (lq_alloc, sq_alloc) = match cfg.segmentation {
             Some(seg) => (
@@ -183,8 +200,21 @@ impl Lsq {
             lq_ports: PortBook::new(nsegs, cfg.ports),
             sq_ports: PortBook::new(nsegs, cfg.ports),
             stats: LsqStats::new(nsegs),
+            tracer,
             cfg,
         })
+    }
+
+    /// Emits one [`Event::SegAdvance`] per hop of a multi-segment
+    /// search path. Call only when the tracer is enabled.
+    fn emit_path(&mut self, queue: QueueSide, path: &[usize]) {
+        for w in path.windows(2) {
+            self.tracer.emit(Event::SegAdvance {
+                queue,
+                from_segment: w[0] as u32,
+                to_segment: w[1] as u32,
+            });
+        }
     }
 
     /// The configuration in use.
@@ -245,6 +275,14 @@ impl Lsq {
             lb.on_dispatch(seq, addr);
         }
         self.stats.loads_dispatched += 1;
+        if self.tracer.enabled() {
+            self.tracer.emit(Event::Dispatch {
+                op: MemOp::Load,
+                seq,
+                pc,
+                addr,
+            });
+        }
     }
 
     /// Allocates a store-queue entry for store `seq` (program order).
@@ -267,6 +305,14 @@ impl Lsq {
             ssid,
         });
         self.stats.stores_dispatched += 1;
+        if self.tracer.enabled() {
+            self.tracer.emit(Event::Dispatch {
+                op: MemOp::Store,
+                seq,
+                pc,
+                addr,
+            });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -455,6 +501,7 @@ impl Lsq {
             self.stats.lq_searches_by_loads += 1;
         }
         let mut load_order_violation = None;
+        let mut lb_searched = false;
         if let Some(lb) = &mut self.lb {
             match lb.try_issue(seq) {
                 LbIssue::Full => unreachable!("checked above"),
@@ -463,10 +510,12 @@ impl Lsq {
                     violation,
                 } => {
                     self.stats.lb_searches += u64::from(searches);
+                    lb_searched = searches > 0;
                     load_order_violation = violation;
                 }
                 LbIssue::Buffered { violation } => {
                     self.stats.lb_searches += 1;
+                    lb_searched = true;
                     load_order_violation = violation;
                 }
             }
@@ -485,6 +534,7 @@ impl Lsq {
             self.stats.load_load_violations += 1;
         }
 
+        let mut useless_search = false;
         let forwarded_from = if searches_sq {
             let hit = self.forwarding_source(seq, addr);
             match hit {
@@ -508,6 +558,7 @@ impl Lsq {
                         PredictorKind::Aggressive | PredictorKind::Pair
                     ) {
                         self.stats.useless_searches += 1;
+                        useless_search = true;
                     }
                 }
             }
@@ -520,6 +571,44 @@ impl Lsq {
         e.issued = true;
         e.forwarded_from = forwarded_from;
         self.stats.loads_issued += 1;
+        if self.tracer.enabled() {
+            let pc = self.lq[idx].pc;
+            if let Some(p) = &sq_path {
+                self.tracer.emit(Event::SqSearch {
+                    load: seq,
+                    segments: p.len() as u32,
+                    hit: forwarded_from.is_some(),
+                });
+                self.emit_path(QueueSide::Sq, p);
+            }
+            if let Some(p) = &lq_path {
+                self.tracer.emit(Event::LqSearch {
+                    by: MemOp::Load,
+                    seq,
+                    segments: p.len() as u32,
+                });
+                self.emit_path(QueueSide::Lq, p);
+            }
+            if lb_searched {
+                self.tracer.emit(Event::LbSearch { load: seq });
+            }
+            if let Some(store) = forwarded_from {
+                self.tracer.emit(Event::Forward {
+                    load: seq,
+                    store,
+                    addr,
+                });
+            }
+            if useless_search {
+                self.tracer.emit(Event::UselessSearch { load: seq, pc });
+            }
+            self.tracer.emit(Event::Issue {
+                op: MemOp::Load,
+                seq,
+                pc,
+                addr,
+            });
+        }
         LoadIssue::Issued(LoadIssued {
             forwarded_from,
             extra_cycles,
@@ -550,10 +639,12 @@ impl Lsq {
         }
 
         let mut violation = None;
+        let mut searched_path = None;
         if let Some((path, victim)) = scan {
             self.lq_ports.book(&path);
             self.stats.lq_searches_by_stores += 1;
             violation = victim;
+            searched_path = Some(path);
         }
 
         let e = &mut self.sq[idx];
@@ -563,6 +654,22 @@ impl Lsq {
             self.pred.on_store_issue(ssid, seq);
         }
         self.stats.stores_issued += 1;
+        if self.tracer.enabled() {
+            if let Some(p) = &searched_path {
+                self.tracer.emit(Event::LqSearch {
+                    by: MemOp::Store,
+                    seq,
+                    segments: p.len() as u32,
+                });
+                self.emit_path(QueueSide::Lq, p);
+            }
+            self.tracer.emit(Event::Issue {
+                op: MemOp::Store,
+                seq,
+                pc,
+                addr,
+            });
+        }
 
         if let Some(victim) = violation {
             self.record_violation(victim, pc, false);
@@ -577,6 +684,14 @@ impl Lsq {
         }
         let load_pc = self.lq[self.lq_index(victim).expect("victim resident")].pc;
         self.pred.train_pair(load_pc, store_pc);
+        if self.tracer.enabled() {
+            self.tracer.emit(Event::Violation {
+                victim,
+                load_pc,
+                store_pc,
+                at_commit,
+            });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -645,6 +760,14 @@ impl Lsq {
             self.lq_ports.book(&path);
             self.stats.lq_searches_by_stores += 1;
             violation = victim;
+            if self.tracer.enabled() {
+                self.tracer.emit(Event::LqSearch {
+                    by: MemOp::Store,
+                    seq: front.seq,
+                    segments: path.len() as u32,
+                });
+                self.emit_path(QueueSide::Lq, &path);
+            }
         }
 
         self.sq.pop_front();

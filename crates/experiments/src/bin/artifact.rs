@@ -1,0 +1,40 @@
+//! Reproduces a single table or figure of the paper, selected by name.
+//!
+//! ```text
+//! cargo run --release -p lsq-experiments --bin artifact -- fig10
+//! cargo run --release -p lsq-experiments --bin artifact -- table3 table6
+//! ```
+//!
+//! With no arguments (or `--list`) it prints the available names. Use
+//! `--bin all` to run everything in paper order.
+
+use lsq_experiments::experiments::{by_name, ARTIFACT_NAMES};
+use lsq_experiments::RunSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty()
+        || args
+            .iter()
+            .any(|a| a == "--list" || a == "-l" || a == "--help")
+    {
+        eprintln!("usage: artifact <name>... (one or more of the following)");
+        for name in ARTIFACT_NAMES {
+            eprintln!("  {name}");
+        }
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let spec = RunSpec::default();
+    for name in &args {
+        match by_name(name, spec) {
+            Some(a) => println!("{a}"),
+            None => {
+                eprintln!(
+                    "unknown artifact {name:?}; expected one of: {}",
+                    ARTIFACT_NAMES.join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

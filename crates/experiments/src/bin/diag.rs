@@ -1,51 +1,83 @@
-//! Ad-hoc diagnostics for calibration (not part of the experiment suite).
+//! Deep-dive diagnostics for one benchmark on the base design point.
+//!
+//! ```text
+//! cargo run --release -p lsq-experiments --bin diag -- gcc --instrs 50000 --top 5
+//! ```
+//!
+//! Prints every counter of the run as a registry report (including the
+//! Table 3 predictor counters), the per-static-PC squash / useless-search
+//! attribution, and the trace-ring occupancy. When `LSQ_TRACE` /
+//! `LSQ_SAMPLE_CYCLES` are set the captured trace and timeline are also
+//! written to the configured files.
+
 use lsq_core::LsqConfig;
-use lsq_experiments::runner::{run_design_point, RunSpec};
+use lsq_experiments::runner::{run_traced, RunSpec};
+use lsq_obs::TraceConfig;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let bench = args.get(1).map(String::as_str).unwrap_or("gcc");
-    let r = run_design_point(bench, LsqConfig::default(), false, RunSpec::default());
+    let mut bench = String::from("gcc");
+    let mut spec = RunSpec::default();
+    let mut top = 10usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut grab = |name: &str| {
+            args.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("{name} expects an integer argument");
+                    std::process::exit(2);
+                })
+        };
+        match arg.as_str() {
+            "--warmup" => spec.warmup = grab("--warmup"),
+            "--instrs" => spec.instrs = grab("--instrs"),
+            "--top" => top = grab("--top") as usize,
+            "--help" | "-h" => {
+                eprintln!("usage: diag [bench] [--warmup N] [--instrs N] [--top N]");
+                std::process::exit(0);
+            }
+            name => bench = name.to_string(),
+        }
+    }
+
+    // Trace even without LSQ_TRACE so the attribution report is always
+    // available; files are only written when LSQ_TRACE names a path.
+    let trace = TraceConfig::from_env();
+    let ring = trace.clone().unwrap_or_else(|| {
+        TraceConfig::parse(
+            "diag-unwritten",
+            std::env::var("LSQ_SAMPLE_CYCLES").ok().as_deref(),
+        )
+    });
+    let (r, buf, sampler) = run_traced(&bench, LsqConfig::default(), false, spec, &ring);
+
+    println!("{}", r.registry(&format!("diag: {bench} (base)")).render());
+    println!();
+    if buf.attribution().is_empty() {
+        println!("attribution: no squashes or useless searches recorded");
+    } else {
+        println!("{}", buf.attribution().report(top));
+    }
     println!(
-        "bench {bench}: ipc {:.3} cycles {} committed {}",
-        r.ipc(),
-        r.cycles,
-        r.committed
+        "trace ring: {} of {} events kept ({} dropped)",
+        buf.len(),
+        buf.total(),
+        buf.dropped()
     );
-    println!(
-        "  loads {} stores {} branches {}",
-        r.loads_committed, r.stores_committed, r.branches_committed
-    );
-    println!(
-        "  brmiss {:.2}% l1d {:.2}% l2 {:.2}%",
-        r.branch_mispredict_rate() * 100.0,
-        r.l1d_miss_rate * 100.0,
-        r.l2_miss_rate * 100.0
-    );
-    println!(
-        "  violations {} squashed {}",
-        r.violation_squashes, r.instructions_squashed
-    );
-    println!(
-        "  lqOcc {:.1} sqOcc {:.1} oooLoads {:.2}",
-        r.lq_occupancy, r.sq_occupancy, r.ooo_issued_loads
-    );
-    let l = &r.lsq;
-    println!(
-        "  sq_searches {} hits {} lq_by_stores {} lq_by_loads {}",
-        l.sq_searches, l.sq_search_hits, l.lq_searches_by_stores, l.lq_searches_by_loads
-    );
-    println!(
-        "  stalls: sq_port {} lq_port {} commit_delay {} lb_full {} inorder {} ss_wait {}",
-        l.sq_port_stalls,
-        l.lq_port_stalls,
-        l.commit_port_delays,
-        l.lb_full_stalls,
-        l.in_order_stalls,
-        l.store_set_waits
-    );
-    println!(
-        "  issued: loads {} stores {} ; dispatched: loads {} stores {}",
-        l.loads_issued, l.stores_issued, l.loads_dispatched, l.stores_dispatched
-    );
+    if let Some(cfg) = &trace {
+        match cfg.write(&buf, sampler.as_ref()) {
+            Ok(paths) => {
+                for p in paths {
+                    println!("wrote {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!(
+                    "error: could not write LSQ_TRACE={}: {e}",
+                    cfg.path.display()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -19,11 +19,17 @@
 //! * `LSQ_PROGRESS=1|0` — force the per-job progress/ETA line on stderr
 //!   on or off (default: on when stderr is a terminal).
 //! * `LSQ_EXPERIMENTS_JSON=<path>` — after every batch, dump every job
-//!   run so far (configuration, headline counters, timing, whether it was
-//!   served from cache) as a JSON array to `<path>`.
+//!   run so far (configuration, headline counters, violation / squash /
+//!   port-stall counters, timing, whether it was served from cache) as a
+//!   JSON array to `<path>`.
+//! * `LSQ_TRACE=<path>[:events|:chrome|:timeline]` and
+//!   `LSQ_SAMPLE_CYCLES=<n>` — trace every *fresh* job through the
+//!   [`lsq_obs`] event ring / windowed sampler (cache hits re-serve old
+//!   results and are not re-traced); see [`lsq_obs::TraceConfig`].
 
 use crate::runner::RunSpec;
 use lsq_core::LsqConfig;
+use lsq_obs::Json;
 use lsq_pipeline::{SimConfig, SimResult};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{IsTerminal, Write};
@@ -80,6 +86,76 @@ struct JobRecord {
     committed: u64,
     ipc: f64,
     sim_mips: f64,
+    violations: u64,
+    commit_violations: u64,
+    useless_searches: u64,
+    load_load_violations: u64,
+    violation_squashes: u64,
+    instructions_squashed: u64,
+    sq_port_stalls: u64,
+    lq_port_stalls: u64,
+    commit_port_delays: u64,
+}
+
+impl JobRecord {
+    fn from_result(job: Job, cached: bool, r: &SimResult) -> Self {
+        Self {
+            job,
+            cached,
+            wall_nanos: r.wall_nanos,
+            cycles: r.cycles,
+            committed: r.committed,
+            ipc: r.ipc(),
+            sim_mips: r.sim_mips,
+            violations: r.lsq.violations,
+            commit_violations: r.lsq.commit_violations,
+            useless_searches: r.lsq.useless_searches,
+            load_load_violations: r.lsq.load_load_violations,
+            violation_squashes: r.violation_squashes,
+            instructions_squashed: r.instructions_squashed,
+            sq_port_stalls: r.lsq.sq_port_stalls,
+            lq_port_stalls: r.lsq.lq_port_stalls,
+            commit_port_delays: r.lsq.commit_port_delays,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let j = &self.job;
+        Json::obj(vec![
+            ("bench", Json::from(j.bench)),
+            ("scaled", j.scaled.into()),
+            ("warmup", j.spec.warmup.into()),
+            ("instrs", j.spec.instrs.into()),
+            ("seed", j.spec.seed.into()),
+            ("ports", j.lsq.ports.into()),
+            ("lq_entries", j.lsq.lq_entries.into()),
+            ("sq_entries", j.lsq.sq_entries.into()),
+            ("predictor", format!("{:?}", j.lsq.predictor).into()),
+            ("load_order", format!("{:?}", j.lsq.load_order).into()),
+            (
+                "segmentation",
+                match j.lsq.segmentation {
+                    Some(seg) => format!("{seg:?}").into(),
+                    None => Json::Null,
+                },
+            ),
+            ("cached", self.cached.into()),
+            ("wall_nanos", self.wall_nanos.into()),
+            ("cycles", self.cycles.into()),
+            ("committed", self.committed.into()),
+            ("ipc", self.ipc.into()),
+            ("sim_mips", self.sim_mips.into()),
+            ("violations", self.violations.into()),
+            ("commit_violations", self.commit_violations.into()),
+            ("useless_searches", self.useless_searches.into()),
+            ("load_load_violations", self.load_load_violations.into()),
+            ("violation_squashes", self.violation_squashes.into()),
+            ("instructions_squashed", self.instructions_squashed.into()),
+            ("sq_port_stalls", self.sq_port_stalls.into()),
+            ("lq_port_stalls", self.lq_port_stalls.into()),
+            ("commit_port_delays", self.commit_port_delays.into()),
+        ])
+    }
 }
 
 /// The experiment engine. One global instance (see [`global`]) is shared
@@ -172,15 +248,7 @@ impl Engine {
         {
             let mut records = self.records.lock().expect("engine records poisoned");
             for ((job, &cached), result) in jobs.iter().zip(&cached_flags).zip(&results) {
-                records.push(JobRecord {
-                    job: *job,
-                    cached,
-                    wall_nanos: result.wall_nanos,
-                    cycles: result.cycles,
-                    committed: result.committed,
-                    ipc: result.ipc(),
-                    sim_mips: result.sim_mips,
-                });
+                records.push(JobRecord::from_result(*job, cached, result));
             }
         }
         if let Ok(path) = std::env::var("LSQ_EXPERIMENTS_JSON") {
@@ -260,42 +328,17 @@ impl Engine {
             .collect()
     }
 
-    /// Writes every job recorded so far as a JSON array to `path`.
-    /// Failures are reported on stderr, not fatal — a bad dump path must
-    /// not kill an hour of simulation.
+    /// Writes every job recorded so far as a JSON array to `path`
+    /// (one record object per line for greppability). Failures are
+    /// reported on stderr, not fatal — a bad dump path must not kill an
+    /// hour of simulation.
     fn dump_json(&self, path: &str) {
         let records = self.records.lock().expect("engine records poisoned");
         let mut out = String::from("[\n");
         for (i, r) in records.iter().enumerate() {
-            let j = &r.job;
-            out.push_str(&format!(
-                "  {{\"bench\": {}, \"scaled\": {}, \"warmup\": {}, \"instrs\": {}, \
-                 \"seed\": {}, \"ports\": {}, \"lq_entries\": {}, \"sq_entries\": {}, \
-                 \"predictor\": {}, \"load_order\": {}, \"segmentation\": {}, \
-                 \"cached\": {}, \"wall_nanos\": {}, \"cycles\": {}, \"committed\": {}, \
-                 \"ipc\": {:.6}, \"sim_mips\": {:.3}}}{}\n",
-                json_string(j.bench),
-                j.scaled,
-                j.spec.warmup,
-                j.spec.instrs,
-                j.spec.seed,
-                j.lsq.ports,
-                j.lsq.lq_entries,
-                j.lsq.sq_entries,
-                json_string(&format!("{:?}", j.lsq.predictor)),
-                json_string(&format!("{:?}", j.lsq.load_order)),
-                match j.lsq.segmentation {
-                    Some(seg) => json_string(&format!("{seg:?}")),
-                    None => "null".to_string(),
-                },
-                r.cached,
-                r.wall_nanos,
-                r.cycles,
-                r.committed,
-                r.ipc,
-                r.sim_mips,
-                if i + 1 == records.len() { "" } else { "," },
-            ));
+            out.push_str("  ");
+            out.push_str(&r.to_json().to_string());
+            out.push_str(if i + 1 == records.len() { "\n" } else { ",\n" });
         }
         out.push_str("]\n");
         if let Err(e) = std::fs::write(path, out) {
@@ -399,22 +442,6 @@ fn report_progress(done: usize, total: usize, started: Instant) {
         "\r[{done}/{total}] jobs, {elapsed:.1}s elapsed, eta {eta:.1}s   "
     );
     let _ = err.flush();
-}
-
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 #[cfg(test)]
@@ -531,26 +558,43 @@ mod tests {
     }
 
     #[test]
-    fn json_escaping() {
-        assert_eq!(json_string("plain"), "\"plain\"");
-        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
-        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
-    }
-
-    #[test]
-    fn json_dump_is_written_and_well_formed() {
+    fn json_dump_parses_and_carries_violation_counters() {
         let engine = Engine::new();
         let _ = engine.run_batch_with_workers(&[job("gzip"), job("gzip")], Some(1));
         let path = std::env::temp_dir().join("lsq_engine_dump_test.json");
         engine.dump_json(path.to_str().unwrap());
         let text = std::fs::read_to_string(&path).unwrap();
         let _ = std::fs::remove_file(&path);
-        assert!(text.starts_with("[\n"));
-        assert!(text.trim_end().ends_with(']'));
-        assert_eq!(text.matches("\"bench\": \"gzip\"").count(), 2);
-        assert_eq!(text.matches("\"cached\": true").count(), 1);
-        assert_eq!(text.matches("\"cached\": false").count(), 1);
-        // Balanced braces: one object per record line.
-        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        let parsed = Json::parse(&text).expect("dump is valid JSON");
+        let records = parsed.as_arr().expect("dump is an array");
+        assert_eq!(records.len(), 2);
+        let get_str = |r: &Json, k: &str| r.get(k).and_then(Json::as_str).map(str::to_string);
+        let get_bool = |r: &Json, k: &str| r.get(k).and_then(Json::as_bool);
+        assert_eq!(get_str(&records[0], "bench").as_deref(), Some("gzip"));
+        assert_eq!(get_bool(&records[0], "cached"), Some(false));
+        assert_eq!(get_bool(&records[1], "cached"), Some(true));
+        // Both records describe the same simulation: identical counters.
+        for key in [
+            "cycles",
+            "committed",
+            "violations",
+            "commit_violations",
+            "useless_searches",
+            "load_load_violations",
+            "violation_squashes",
+            "instructions_squashed",
+            "sq_port_stalls",
+            "lq_port_stalls",
+            "commit_port_delays",
+        ] {
+            let a = records[0].get(key).and_then(Json::as_u64);
+            let b = records[1].get(key).and_then(Json::as_u64);
+            assert!(a.is_some(), "record has {key}");
+            assert_eq!(a, b, "{key} survives the cache");
+        }
+        assert!(
+            records[0].get("ipc").and_then(Json::as_f64).unwrap() > 0.1,
+            "ipc serialized as a number"
+        );
     }
 }

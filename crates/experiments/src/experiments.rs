@@ -699,6 +699,47 @@ pub fn supplementary_ssit_pressure(spec: RunSpec) -> Artifact {
     }
 }
 
+/// Every artifact name accepted by [`by_name`], in paper order — the
+/// menu printed by `cargo run -p lsq-experiments --bin artifact`.
+pub const ARTIFACT_NAMES: &[&str] = &[
+    "table1",
+    "table2",
+    "fig6",
+    "fig7",
+    "table3",
+    "fig8",
+    "table4",
+    "fig9",
+    "fig10",
+    "fig11",
+    "table5",
+    "table6",
+    "fig12",
+    "supplementary",
+];
+
+/// Runs the single artifact called `name` (one of [`ARTIFACT_NAMES`]);
+/// `None` for an unknown name.
+pub fn by_name(name: &str, spec: RunSpec) -> Option<Artifact> {
+    Some(match name {
+        "table1" => table1(),
+        "table2" => table2(spec),
+        "fig6" => fig6(spec),
+        "fig7" => fig7(spec),
+        "table3" => table3(spec),
+        "fig8" => fig8(spec),
+        "table4" => table4(spec),
+        "fig9" => fig9(spec),
+        "fig10" => fig10(spec),
+        "fig11" => fig11(spec),
+        "table5" => table5(spec),
+        "table6" => table6(spec),
+        "fig12" => fig12(spec),
+        "supplementary" => supplementary_ssit_pressure(spec),
+        _ => return None,
+    })
+}
+
 /// Runs every artifact in paper order.
 pub fn all(spec: RunSpec) -> Vec<Artifact> {
     let predictor_rows = predictor_matrix(spec);
@@ -729,6 +770,18 @@ mod tests {
         instrs: 4_000,
         seed: 1,
     };
+
+    #[test]
+    fn by_name_covers_every_artifact_name() {
+        assert_eq!(ARTIFACT_NAMES.len(), 14);
+        assert!(by_name("nonesuch", TINY).is_none());
+        let a = by_name("table1", TINY).expect("table1 exists");
+        assert_eq!(a.id, "Table 1");
+        let a = by_name("table3", TINY).expect("table3 exists");
+        assert_eq!(a.id, "Table 3");
+        let a = by_name("fig8", TINY).expect("fig8 exists");
+        assert_eq!(a.id, "Figure 8");
+    }
 
     #[test]
     fn table1_lists_paper_parameters() {

@@ -9,15 +9,21 @@
 //! side by side.
 //!
 //! Run a single artifact with `cargo run --release -p lsq-experiments
-//! --bin fig10`, or everything with `--bin all`. The instruction budget
-//! per run is controlled by the `LSQ_INSTRS` environment variable
-//! (default 200,000 after a 40,000-instruction warm-up).
+//! --bin artifact -- fig10` (see [`experiments::ARTIFACT_NAMES`] for the
+//! menu), or everything with `--bin all`. The instruction budget per run
+//! is controlled by the `LSQ_INSTRS` environment variable (default
+//! 200,000 after a 40,000-instruction warm-up).
 //!
 //! All runs flow through the shared [`engine`]: a work-stealing pool
 //! (`LSQ_JOBS` workers) with a result cache, so design points shared
 //! between artifacts — the base and two-ported configurations appear in
 //! most of Figures 6–12 — are simulated exactly once per process. See
 //! the [`engine`] docs for `LSQ_PROGRESS` and `LSQ_EXPERIMENTS_JSON`.
+//!
+//! Any run can be traced through the [`lsq_obs`] event ring and windowed
+//! sampler: set `LSQ_TRACE=<path>[:events|:chrome|:timeline]` (and
+//! optionally `LSQ_SAMPLE_CYCLES=<n>`), or call
+//! [`runner::run_traced`] directly.
 //!
 //! # Examples
 //!
@@ -35,5 +41,5 @@ pub mod experiments;
 pub mod runner;
 
 pub use engine::{worker_count, Engine, Job};
-pub use experiments::{all, Artifact};
-pub use runner::{run_design_point, RunSpec};
+pub use experiments::{all, by_name, Artifact, ARTIFACT_NAMES};
+pub use runner::{run_design_point, run_traced, RunSpec};

@@ -8,8 +8,10 @@
 
 use crate::engine::{self, Job};
 use lsq_core::LsqConfig;
+use lsq_obs::{Sampler, SharedTracer, TraceBuffer, TraceConfig};
 use lsq_pipeline::{SimConfig, SimResult, Simulator};
 use lsq_trace::BenchProfile;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Instruction budget for one run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -75,6 +77,25 @@ pub(crate) fn run_design_point_uncached(
     scaled: bool,
     spec: RunSpec,
 ) -> SimResult {
+    if let Some(trace) = TraceConfig::from_env() {
+        // Parallel jobs write to distinct paths: the first job gets the
+        // configured path verbatim, later ones a `.N` suffix.
+        static TRACED_JOBS: AtomicU64 = AtomicU64::new(0);
+        let trace = trace.for_job(TRACED_JOBS.fetch_add(1, Ordering::Relaxed));
+        let (result, buf, sampler) = run_traced(bench, lsq, scaled, spec, &trace);
+        match trace.write(&buf, sampler.as_ref()) {
+            Ok(paths) => {
+                for p in paths {
+                    eprintln!("trace: {bench} -> {}", p.display());
+                }
+            }
+            Err(e) => eprintln!(
+                "warning: could not write LSQ_TRACE={}: {e}",
+                trace.path.display()
+            ),
+        }
+        return result;
+    }
     let profile = BenchProfile::named(bench).unwrap_or_else(|| panic!("unknown benchmark {bench}"));
     let cfg = if scaled {
         SimConfig::scaled(lsq)
@@ -92,9 +113,52 @@ pub(crate) fn run_design_point_uncached(
     diff_results(&before, &after)
 }
 
+/// [`run_design_point_uncached`] with tracing: the simulator carries a
+/// [`SharedTracer`] ring (and, when the config asks for one, a windowed
+/// [`Sampler`]) and the captured buffer and flushed sampler are returned
+/// alongside the measured-phase result.
+///
+/// The sampler is attached before the warm-up phase so its per-window
+/// deltas partition the *whole* run — summing `committed` over every
+/// window and dividing by the summed `cycles` reproduces the cumulative
+/// (undiffed) IPC exactly.
+///
+/// # Panics
+///
+/// Panics if `bench` is not one of the 18 profile names.
+pub fn run_traced(
+    bench: &str,
+    lsq: LsqConfig,
+    scaled: bool,
+    spec: RunSpec,
+    trace: &TraceConfig,
+) -> (SimResult, TraceBuffer, Option<Sampler>) {
+    let profile = BenchProfile::named(bench).unwrap_or_else(|| panic!("unknown benchmark {bench}"));
+    let cfg = if scaled {
+        SimConfig::scaled(lsq)
+    } else {
+        SimConfig::with_lsq(lsq)
+    };
+    let mut stream = profile.stream(spec.seed);
+    let tracer = SharedTracer::with_capacity(trace.capacity);
+    let mut sim = Simulator::with_tracer(cfg, tracer.clone());
+    if let Some(window) = trace.effective_sample_cycles() {
+        sim.set_sampler(Sampler::new(window));
+    }
+    sim.prewarm(&stream.data_regions(), stream.code_region());
+    if spec.warmup > 0 {
+        let _ = sim.run(&mut stream, spec.warmup);
+    }
+    let before = sim.run(&mut stream, 0);
+    let after = sim.run(&mut stream, spec.instrs);
+    let result = diff_results(&before, &after);
+    let sampler = sim.take_sampler();
+    (result, tracer.snapshot(), sampler)
+}
+
 /// Subtracts the warm-up prefix from cumulative counters so the result
 /// reflects only the measured window.
-fn diff_results(before: &SimResult, after: &SimResult) -> SimResult {
+pub fn diff_results(before: &SimResult, after: &SimResult) -> SimResult {
     let mut r = after.clone();
     r.cycles = after.cycles - before.cycles;
     r.committed = after.committed - before.committed;
@@ -338,6 +402,27 @@ mod tests {
             wall_nanos: 0,
             sim_mips: 0.0,
         }
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_counters() {
+        let trace = TraceConfig::parse("unused.json", Some("500"));
+        let (r, buf, sampler) = run_traced("gzip", LsqConfig::default(), false, SMALL, &trace);
+        let plain = run_design_point("gzip", LsqConfig::default(), false, SMALL);
+        assert_eq!(r.cycles, plain.cycles, "tracing must not perturb timing");
+        assert_eq!(r.committed, plain.committed);
+        assert_eq!(r.lsq.sq_searches, plain.lsq.sq_searches);
+        assert_eq!(r.violation_squashes, plain.violation_squashes);
+        assert!(buf.total() > 0, "a real run emits events");
+        let sampler = sampler.expect("sampling was requested");
+        assert!(!sampler.rows().is_empty(), "windows were recorded");
+        // The sampler covers warm-up and measurement: its windowed cycles
+        // partition the whole run.
+        let windowed: u64 = sampler.rows().iter().map(|w| w.cycles).sum();
+        assert!(
+            windowed >= r.cycles,
+            "windows cover at least the measured phase"
+        );
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Per-static-PC attribution of violations, squashes, and useless
+//! searches.
+//!
+//! Table 3's misprediction rate is an aggregate over the whole run;
+//! this table answers the follow-up question — *which* loads keep
+//! violating and *which* predictor entries keep forcing searches that
+//! find nothing. Attribution is recorded for every event pushed into a
+//! [`crate::TraceBuffer`], independent of the ring's retention window.
+
+use std::collections::HashMap;
+
+use crate::event::Event;
+
+/// Counters charged to one static PC.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcCounters {
+    /// Order violations where this PC was the premature load.
+    pub violations: u64,
+    /// Of those, violations detected at store commit (pair scheme).
+    pub commit_violations: u64,
+    /// Predictor-directed searches from this load PC that matched no
+    /// store.
+    pub useless_searches: u64,
+    /// Squashes whose victim instruction had this PC.
+    pub squashes: u64,
+    /// Total recovery penalty cycles charged to this PC's squashes.
+    pub squash_penalty: u64,
+    /// Violations where this PC was the conflicting *store*.
+    pub store_violations: u64,
+}
+
+impl PcCounters {
+    /// Combined badness used for ranking in [`PcAttribution::top`].
+    pub fn weight(&self) -> u64 {
+        self.violations + self.useless_searches + self.squashes + self.store_violations
+    }
+}
+
+/// The attribution table: static PC → [`PcCounters`].
+#[derive(Debug, Clone, Default)]
+pub struct PcAttribution {
+    by_pc: HashMap<u64, PcCounters>,
+}
+
+impl PcAttribution {
+    /// Charge one event to its PC(s). Events without attribution
+    /// relevance are ignored.
+    pub fn record(&mut self, event: &Event) {
+        match *event {
+            Event::Violation {
+                load_pc,
+                store_pc,
+                at_commit,
+                ..
+            } => {
+                let load = self.by_pc.entry(load_pc.0).or_default();
+                load.violations += 1;
+                if at_commit {
+                    load.commit_violations += 1;
+                }
+                self.by_pc.entry(store_pc.0).or_default().store_violations += 1;
+            }
+            Event::UselessSearch { pc, .. } => {
+                self.by_pc.entry(pc.0).or_default().useless_searches += 1;
+            }
+            Event::Squash { pc, penalty, .. } => {
+                let c = self.by_pc.entry(pc.0).or_default();
+                c.squashes += 1;
+                c.squash_penalty += penalty;
+            }
+            _ => {}
+        }
+    }
+
+    /// Counters for one PC, if any event was charged to it.
+    pub fn get(&self, pc: u64) -> Option<&PcCounters> {
+        self.by_pc.get(&pc)
+    }
+
+    /// Number of distinct PCs with charges.
+    pub fn len(&self) -> usize {
+        self.by_pc.len()
+    }
+
+    /// Whether no events have been attributed.
+    pub fn is_empty(&self) -> bool {
+        self.by_pc.is_empty()
+    }
+
+    /// The `n` worst PCs by [`PcCounters::weight`], ties broken by PC
+    /// ascending so the ordering is deterministic.
+    pub fn top(&self, n: usize) -> Vec<(u64, PcCounters)> {
+        let mut rows: Vec<(u64, PcCounters)> = self.by_pc.iter().map(|(&pc, &c)| (pc, c)).collect();
+        rows.sort_by(|a, b| b.1.weight().cmp(&a.1.weight()).then(a.0.cmp(&b.0)));
+        rows.truncate(n);
+        rows
+    }
+
+    /// An aligned text table of the `n` worst PCs, or a placeholder
+    /// line when nothing was attributed.
+    pub fn report(&self, n: usize) -> String {
+        if self.is_empty() {
+            return "  (no violations, squashes, or useless searches attributed)\n".to_string();
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "  {:<12} {:>10} {:>10} {:>10} {:>9} {:>11} {:>10}\n",
+            "pc", "violations", "at-commit", "useless", "squashes", "penalty-cyc", "as-store"
+        ));
+        for (pc, c) in self.top(n) {
+            out.push_str(&format!(
+                "  {:<#12x} {:>10} {:>10} {:>10} {:>9} {:>11} {:>10}\n",
+                pc,
+                c.violations,
+                c.commit_violations,
+                c.useless_searches,
+                c.squashes,
+                c.squash_penalty,
+                c.store_violations
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SquashCause;
+    use lsq_isa::{Addr, Pc};
+
+    #[test]
+    fn charges_violations_to_both_pcs() {
+        let mut a = PcAttribution::default();
+        a.record(&Event::Violation {
+            victim: 9,
+            load_pc: Pc(0x3000),
+            store_pc: Pc(0x2000),
+            at_commit: true,
+        });
+        a.record(&Event::Violation {
+            victim: 11,
+            load_pc: Pc(0x3000),
+            store_pc: Pc(0x2000),
+            at_commit: false,
+        });
+        let load = a.get(0x3000).unwrap();
+        assert_eq!(load.violations, 2);
+        assert_eq!(load.commit_violations, 1);
+        assert_eq!(load.store_violations, 0);
+        let store = a.get(0x2000).unwrap();
+        assert_eq!(store.store_violations, 2);
+        assert_eq!(store.violations, 0);
+    }
+
+    #[test]
+    fn ranks_by_weight_then_pc() {
+        let mut a = PcAttribution::default();
+        for _ in 0..3 {
+            a.record(&Event::UselessSearch {
+                load: 1,
+                pc: Pc(0x100),
+            });
+        }
+        a.record(&Event::UselessSearch {
+            load: 2,
+            pc: Pc(0x200),
+        });
+        a.record(&Event::Squash {
+            victim: 5,
+            pc: Pc(0x300),
+            cause: SquashCause::LoadLoad,
+            penalty: 8,
+        });
+        let top = a.top(2);
+        assert_eq!(top[0].0, 0x100);
+        // 0x200 and 0x300 tie at weight 1; lower PC wins.
+        assert_eq!(top[1].0, 0x200);
+        assert_eq!(a.get(0x300).unwrap().squash_penalty, 8);
+    }
+
+    #[test]
+    fn ignores_unattributed_events() {
+        let mut a = PcAttribution::default();
+        a.record(&Event::Forward {
+            load: 1,
+            store: 0,
+            addr: Addr(0x40),
+        });
+        assert!(a.is_empty());
+        assert!(a.report(5).contains("no violations"));
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # lsq-obs — observability for the LSQ reproduction
+//!
+//! The simulator's evaluation counters ([`lsq_core::LsqStats`]-style
+//! end-of-run aggregates) cannot show *when* or *why* a counter moved.
+//! This crate adds the missing audit trail without taxing untraced runs:
+//!
+//! * **Typed event tracing** — a [`Tracer`] trait whose no-op default
+//!   ([`NopTracer`]) monomorphizes to nothing, so `Simulator::new` /
+//!   `Lsq::new` compile to exactly the pre-tracing code. A
+//!   [`SharedTracer`] collects [`Event`]s into a bounded ring buffer
+//!   ([`TraceBuffer`]) and serializes them to JSONL or Chrome
+//!   `trace_event` JSON (open in Perfetto or `chrome://tracing`).
+//! * **Windowed sampling** — a [`Sampler`] turns per-cycle observations
+//!   into fixed-width window rows (IPC, queue occupancy, search demand,
+//!   in-flight loads) dumped as CSV, so warm-up vs. measured behaviour
+//!   is visible at a glance. Per-window committed/cycle deltas sum back
+//!   exactly to the run's aggregate IPC.
+//! * **Per-PC attribution** — [`PcAttribution`] charges violations,
+//!   squashes, and useless searches to static PCs, making Table 3's
+//!   misprediction rate debuggable.
+//! * **A metrics registry** — [`Registry`] renders counter sections as
+//!   aligned text or JSON; `bin/diag` is built on it.
+//! * **Env-driven wiring** — [`TraceConfig::from_env`] parses
+//!   `LSQ_TRACE=<path>[:events|:timeline|:chrome]` and
+//!   `LSQ_SAMPLE_CYCLES=<n>` so any experiment run can be traced
+//!   without code changes.
+//!
+//! The crate depends only on `lsq-isa` (for [`lsq_isa::Pc`] and
+//! [`lsq_isa::Addr`]) and has no external dependencies; [`json`] is a
+//! small built-in JSON builder/parser used for serialization and
+//! round-trip tests.
+
+pub mod attrib;
+pub mod config;
+pub mod event;
+pub mod json;
+pub mod registry;
+pub mod sample;
+pub mod tracer;
+
+pub use attrib::{PcAttribution, PcCounters};
+pub use config::{TraceConfig, TraceMode};
+pub use event::{Event, MemOp, MissLevel, QueueSide, SquashCause, TimedEvent};
+pub use json::Json;
+pub use registry::{Metric, MetricValue, Registry, Section};
+pub use sample::{SampleInput, SampleRow, Sampler};
+pub use tracer::{NopTracer, SharedTracer, TraceBuffer, Tracer, DEFAULT_RING_CAPACITY};

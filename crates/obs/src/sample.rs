@@ -1,0 +1,319 @@
+//! The windowed time-series sampler.
+//!
+//! Called once per simulated cycle with cumulative counters and
+//! instantaneous occupancies, the sampler folds them into fixed-width
+//! window rows: committed/cycle deltas (so per-window IPC), mean queue
+//! occupancies, search demand, and in-flight loads. Because deltas are
+//! taken against the previous window's cumulative values starting from
+//! zero, the rows partition the run exactly — Σ committed over rows
+//! equals the final cumulative committed count, and Σ cycles equals the
+//! number of observed cycles. That is the acceptance-criterion
+//! invariant: per-window IPC weighted by window length sums back to the
+//! run's aggregate IPC.
+
+use crate::json::Json;
+
+/// One cycle's worth of observations, passed to [`Sampler::observe`].
+/// Counter fields are cumulative; occupancy fields are instantaneous.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SampleInput {
+    /// Cumulative committed instructions.
+    pub committed: u64,
+    /// Current load-queue occupancy.
+    pub lq_occupancy: usize,
+    /// Current store-queue occupancy.
+    pub sq_occupancy: usize,
+    /// Cumulative store-queue searches.
+    pub sq_searches: u64,
+    /// Cumulative load-queue searches (by stores and loads).
+    pub lq_searches: u64,
+    /// Loads currently in flight (issued, not yet complete).
+    pub inflight_loads: usize,
+}
+
+/// One completed window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleRow {
+    /// First cycle observed in this window.
+    pub start_cycle: u64,
+    /// Last cycle observed in this window.
+    pub end_cycle: u64,
+    /// Cycles observed in this window.
+    pub cycles: u64,
+    /// Instructions committed during this window.
+    pub committed: u64,
+    /// Mean load-queue occupancy over the window.
+    pub lq_occupancy: f64,
+    /// Mean store-queue occupancy over the window.
+    pub sq_occupancy: f64,
+    /// Mean in-flight loads over the window.
+    pub inflight_loads: f64,
+    /// Store-queue searches during this window.
+    pub sq_searches: u64,
+    /// Load-queue searches during this window.
+    pub lq_searches: u64,
+}
+
+impl SampleRow {
+    /// This window's IPC.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Folds per-cycle observations into fixed-width [`SampleRow`]s.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    window: u64,
+    rows: Vec<SampleRow>,
+    // Within-window accumulation.
+    samples_in_window: u64,
+    win_start: u64,
+    win_end: u64,
+    lq_sum: f64,
+    sq_sum: f64,
+    inflight_sum: f64,
+    // Cumulative counter values at the end of the last flushed window.
+    base_committed: u64,
+    base_sq_searches: u64,
+    base_lq_searches: u64,
+    // Latest cumulative counter values seen.
+    last: SampleInput,
+}
+
+impl Sampler {
+    /// A sampler with the given window width in cycles.
+    ///
+    /// # Panics
+    /// If `window` is zero.
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "sampler window must be at least one cycle");
+        Sampler {
+            window,
+            rows: Vec::new(),
+            samples_in_window: 0,
+            win_start: 0,
+            win_end: 0,
+            lq_sum: 0.0,
+            sq_sum: 0.0,
+            inflight_sum: 0.0,
+            base_committed: 0,
+            base_sq_searches: 0,
+            base_lq_searches: 0,
+            last: SampleInput::default(),
+        }
+    }
+
+    /// The configured window width.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Record one cycle's observations. Call exactly once per simulated
+    /// cycle (cycle values may start anywhere and need not be dense —
+    /// windows are "per N observations", and row boundaries report the
+    /// observed cycle range).
+    pub fn observe(&mut self, cycle: u64, input: SampleInput) {
+        if self.samples_in_window == 0 {
+            self.win_start = cycle;
+        }
+        self.win_end = cycle;
+        self.samples_in_window += 1;
+        self.lq_sum += input.lq_occupancy as f64;
+        self.sq_sum += input.sq_occupancy as f64;
+        self.inflight_sum += input.inflight_loads as f64;
+        self.last = input;
+        if self.samples_in_window == self.window {
+            self.flush_window();
+        }
+    }
+
+    fn flush_window(&mut self) {
+        let n = self.samples_in_window;
+        debug_assert!(n > 0);
+        self.rows.push(SampleRow {
+            start_cycle: self.win_start,
+            end_cycle: self.win_end,
+            cycles: n,
+            committed: self.last.committed - self.base_committed,
+            lq_occupancy: self.lq_sum / n as f64,
+            sq_occupancy: self.sq_sum / n as f64,
+            inflight_loads: self.inflight_sum / n as f64,
+            sq_searches: self.last.sq_searches - self.base_sq_searches,
+            lq_searches: self.last.lq_searches - self.base_lq_searches,
+        });
+        self.base_committed = self.last.committed;
+        self.base_sq_searches = self.last.sq_searches;
+        self.base_lq_searches = self.last.lq_searches;
+        self.samples_in_window = 0;
+        self.lq_sum = 0.0;
+        self.sq_sum = 0.0;
+        self.inflight_sum = 0.0;
+    }
+
+    /// Emit the partial last window, if any cycles are pending. Call at
+    /// end of run so the rows cover every observed cycle.
+    pub fn flush(&mut self) {
+        if self.samples_in_window > 0 {
+            self.flush_window();
+        }
+    }
+
+    /// The completed windows, oldest first.
+    pub fn rows(&self) -> &[SampleRow] {
+        &self.rows
+    }
+
+    /// The rows as CSV with a header line. Flush first to include the
+    /// partial last window.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "start_cycle,end_cycle,cycles,committed,ipc,lq_occupancy,sq_occupancy,inflight_loads,sq_searches,lq_searches\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{:.6},{:.3},{:.3},{:.3},{},{}\n",
+                r.start_cycle,
+                r.end_cycle,
+                r.cycles,
+                r.committed,
+                r.ipc(),
+                r.lq_occupancy,
+                r.sq_occupancy,
+                r.inflight_loads,
+                r.sq_searches,
+                r.lq_searches
+            ));
+        }
+        out
+    }
+
+    /// The rows as a JSON array of objects (for embedding in reports).
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.rows
+                .iter()
+                .map(|r| {
+                    Json::obj(vec![
+                        ("start_cycle", Json::from(r.start_cycle)),
+                        ("end_cycle", Json::from(r.end_cycle)),
+                        ("cycles", Json::from(r.cycles)),
+                        ("committed", Json::from(r.committed)),
+                        ("ipc", Json::from(r.ipc())),
+                        ("lq_occupancy", Json::from(r.lq_occupancy)),
+                        ("sq_occupancy", Json::from(r.sq_occupancy)),
+                        ("inflight_loads", Json::from(r.inflight_loads)),
+                        ("sq_searches", Json::from(r.sq_searches)),
+                        ("lq_searches", Json::from(r.lq_searches)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(committed: u64) -> SampleInput {
+        SampleInput {
+            committed,
+            lq_occupancy: 4,
+            sq_occupancy: 2,
+            sq_searches: committed / 2,
+            lq_searches: committed / 4,
+            inflight_loads: 1,
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_window_panics() {
+        let _ = Sampler::new(0);
+    }
+
+    #[test]
+    fn sample_at_cycle_zero_starts_first_window() {
+        let mut s = Sampler::new(4);
+        for cycle in 0..4 {
+            s.observe(cycle, input(cycle * 2));
+        }
+        assert_eq!(s.rows().len(), 1);
+        let r = s.rows()[0];
+        assert_eq!(r.start_cycle, 0);
+        assert_eq!(r.end_cycle, 3);
+        assert_eq!(r.cycles, 4);
+        assert_eq!(r.committed, 6);
+    }
+
+    #[test]
+    fn partial_last_window_flushes() {
+        let mut s = Sampler::new(4);
+        for cycle in 0..10 {
+            s.observe(cycle, input(cycle));
+        }
+        assert_eq!(s.rows().len(), 2);
+        s.flush();
+        assert_eq!(s.rows().len(), 3);
+        let last = s.rows()[2];
+        assert_eq!(last.start_cycle, 8);
+        assert_eq!(last.end_cycle, 9);
+        assert_eq!(last.cycles, 2);
+        // Flushing again is a no-op.
+        s.flush();
+        assert_eq!(s.rows().len(), 3);
+    }
+
+    #[test]
+    fn window_of_one_emits_every_cycle() {
+        let mut s = Sampler::new(1);
+        s.observe(0, input(1));
+        s.observe(1, input(3));
+        assert_eq!(s.rows().len(), 2);
+        assert_eq!(s.rows()[0].committed, 1);
+        assert_eq!(s.rows()[1].committed, 2);
+    }
+
+    #[test]
+    fn deltas_partition_the_run_exactly() {
+        // The acceptance-criterion invariant: Σ committed and Σ cycles
+        // across rows reproduce the aggregates, so length-weighted
+        // per-window IPC equals aggregate IPC.
+        let mut s = Sampler::new(7);
+        let total_cycles = 23u64;
+        let mut committed = 0u64;
+        for cycle in 0..total_cycles {
+            committed += (cycle % 3 == 0) as u64 * 2;
+            s.observe(cycle, input(committed));
+        }
+        s.flush();
+        let sum_cycles: u64 = s.rows().iter().map(|r| r.cycles).sum();
+        let sum_committed: u64 = s.rows().iter().map(|r| r.committed).sum();
+        assert_eq!(sum_cycles, total_cycles);
+        assert_eq!(sum_committed, committed);
+        let weighted: f64 = s.rows().iter().map(|r| r.ipc() * r.cycles as f64).sum();
+        let aggregate = committed as f64 / total_cycles as f64;
+        assert!((weighted / total_cycles as f64 - aggregate).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_row() {
+        let mut s = Sampler::new(2);
+        for cycle in 0..5 {
+            s.observe(cycle, input(cycle));
+        }
+        s.flush();
+        let csv = s.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 3);
+        assert!(lines[0].starts_with("start_cycle,end_cycle,cycles,committed,ipc"));
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), 10);
+        }
+    }
+}

@@ -84,6 +84,100 @@ impl SimResult {
             self.branch_mispredictions as f64 / self.branch_predictions as f64
         }
     }
+
+    /// Every counter of this result as a metrics registry — the single
+    /// source for `bin/diag`'s text report and the experiment engine's
+    /// JSON records, including the Table 3 predictor counters.
+    pub fn registry(&self, title: &str) -> lsq_obs::Registry {
+        use lsq_obs::Registry;
+        let s = &self.lsq;
+        let mut reg = Registry::new(title)
+            .section(
+                Registry::named("run")
+                    .count("cycles", self.cycles)
+                    .count("committed", self.committed)
+                    .float("ipc", self.ipc())
+                    .count("hit_cycle_cap", u64::from(self.hit_cycle_cap)),
+            )
+            .section(
+                Registry::named("volume")
+                    .count("loads_committed", self.loads_committed)
+                    .count("stores_committed", self.stores_committed)
+                    .count("branches_committed", self.branches_committed)
+                    .count("loads_dispatched", s.loads_dispatched)
+                    .count("stores_dispatched", s.stores_dispatched)
+                    .count("loads_issued", s.loads_issued)
+                    .count("stores_issued", s.stores_issued),
+            )
+            .section(
+                Registry::named("frontend")
+                    .count("branch_predictions", self.branch_predictions)
+                    .count("branch_mispredictions", self.branch_mispredictions)
+                    .percent(
+                        "branch_mispredict_rate",
+                        self.branch_mispredict_rate() * 100.0,
+                    ),
+            )
+            .section(
+                Registry::named("memory")
+                    .percent("l1d_miss_rate", self.l1d_miss_rate * 100.0)
+                    .percent("l2_miss_rate", self.l2_miss_rate * 100.0),
+            )
+            .section(
+                Registry::named("searches")
+                    .count("sq_searches", s.sq_searches)
+                    .count("sq_search_hits", s.sq_search_hits)
+                    .percent("sq_search_fraction", s.sq_search_fraction() * 100.0)
+                    .count("lq_searches_by_stores", s.lq_searches_by_stores)
+                    .count("lq_searches_by_loads", s.lq_searches_by_loads)
+                    .count("lb_searches", s.lb_searches),
+            )
+            .section(
+                Registry::named("predictor (Table 3)")
+                    .count("violations", s.violations)
+                    .count("commit_violations", s.commit_violations)
+                    .count("useless_searches", s.useless_searches)
+                    .count("load_load_violations", s.load_load_violations)
+                    .percent("pair_mispred_rate", s.pair_mispred_rate() * 100.0)
+                    .percent("pair_squash_rate", s.pair_squash_rate() * 100.0)
+                    .count("store_set_waits", s.store_set_waits),
+            )
+            .section(
+                Registry::named("squashes")
+                    .count("violation_squashes", self.violation_squashes)
+                    .count("instructions_squashed", self.instructions_squashed)
+                    .count("invalidations", s.invalidations)
+                    .count("invalidation_squashes", s.invalidation_squashes),
+            )
+            .section(
+                Registry::named("stalls")
+                    .count("sq_port_stalls", s.sq_port_stalls)
+                    .count("lq_port_stalls", s.lq_port_stalls)
+                    .count("commit_port_delays", s.commit_port_delays)
+                    .count("lb_full_stalls", s.lb_full_stalls)
+                    .count("in_order_stalls", s.in_order_stalls),
+            )
+            .section(
+                Registry::named("occupancy")
+                    .float("lq_occupancy", self.lq_occupancy)
+                    .float("sq_occupancy", self.sq_occupancy)
+                    .float("ooo_issued_loads", self.ooo_issued_loads)
+                    .float("inflight_loads", self.inflight_loads),
+            );
+        // Segment-search depth distribution, only meaningful when the
+        // histogram saw any searches.
+        if s.seg_search_hist.count() > 0 {
+            let mut seg = Registry::named("segment searches");
+            for (k, _) in s.seg_search_hist.iter() {
+                seg = seg.percent(
+                    &format!("within_{}_segments", k + 1),
+                    s.seg_search_fraction(k) * 100.0,
+                );
+            }
+            reg = reg.section(seg);
+        }
+        reg
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +224,44 @@ mod tests {
         assert_eq!(a.ipc(), 2.5);
         assert_eq!(a.speedup_over(&b), 1.25);
         assert_eq!(a.speedup_over(&blank()), 0.0);
+    }
+
+    #[test]
+    fn registry_carries_table3_counters_and_round_trips() {
+        let mut r = blank();
+        r.cycles = 200;
+        r.committed = 100;
+        r.lsq.commit_violations = 7;
+        r.lsq.useless_searches = 11;
+        r.lsq.load_load_violations = 3;
+        let reg = r.registry("unit test");
+        let text = reg.render();
+        assert!(text.contains("predictor (Table 3)"));
+        assert!(text.contains("commit_violations"));
+        assert!(text.contains("useless_searches"));
+        assert!(text.contains("load_load_violations"));
+        let json = lsq_obs::Json::parse(&reg.to_json().to_string()).unwrap();
+        let pred = json.get("predictor (Table 3)").unwrap();
+        assert_eq!(
+            pred.get("commit_violations")
+                .and_then(lsq_obs::Json::as_u64),
+            Some(7)
+        );
+        assert_eq!(
+            pred.get("useless_searches").and_then(lsq_obs::Json::as_u64),
+            Some(11)
+        );
+        assert_eq!(
+            pred.get("load_load_violations")
+                .and_then(lsq_obs::Json::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            json.get("run")
+                .and_then(|r| r.get("ipc"))
+                .and_then(lsq_obs::Json::as_f64),
+            Some(0.5)
+        );
     }
 
     #[test]

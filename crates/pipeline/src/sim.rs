@@ -27,6 +27,7 @@ use crate::result::SimResult;
 use lsq_core::{LoadIssue, Lsq, StoreDrain, StoreIssue};
 use lsq_isa::{Addr, InstrKind, Instruction, InstructionStream};
 use lsq_mem::MemoryHierarchy;
+use lsq_obs::{Event, NopTracer, SampleInput, Sampler, SquashCause, Tracer};
 use lsq_stats::RunningMean;
 use lsq_util::rng::Xoshiro256;
 use lsq_util::RingQueue;
@@ -60,11 +61,19 @@ struct Fetched {
 }
 
 /// The out-of-order core.
+///
+/// The `T` parameter is the trace sink; the default [`NopTracer`]
+/// monomorphizes every emission site away, so untraced simulators
+/// compile to the pre-tracing code. A cloneable tracer (e.g.
+/// [`lsq_obs::SharedTracer`]) is shared with the LSQ and the memory
+/// hierarchy so all events land in one buffer in emission order.
 #[derive(Debug)]
-pub struct Simulator {
+pub struct Simulator<T: Tracer = NopTracer> {
     cfg: SimConfig,
-    lsq: Lsq,
-    mem: MemoryHierarchy,
+    lsq: Lsq<T>,
+    mem: MemoryHierarchy<T>,
+    tracer: T,
+    sampler: Option<Sampler>,
     bp: HybridPredictor,
     rob: RingQueue<DynInst>,
     /// Sequence numbers of instructions waiting in the issue queue, in
@@ -101,17 +110,31 @@ pub struct Simulator {
     inflight_loads: RunningMean,
 }
 
-impl Simulator {
-    /// Builds a simulator for the given configuration.
+impl Simulator<NopTracer> {
+    /// Builds an untraced simulator for the given configuration.
     ///
     /// # Panics
     ///
     /// Panics if the configuration fails [`SimConfig::validate`].
     pub fn new(cfg: SimConfig) -> Self {
+        Self::with_tracer(cfg, NopTracer)
+    }
+}
+
+impl<T: Tracer + Clone> Simulator<T> {
+    /// Builds a simulator emitting events to `tracer`; the LSQ and the
+    /// memory hierarchy get clones so all layers share one sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SimConfig::validate`].
+    pub fn with_tracer(cfg: SimConfig, tracer: T) -> Self {
         cfg.validate().expect("valid simulator configuration");
         Self {
-            lsq: Lsq::new(cfg.lsq).expect("validated above"),
-            mem: MemoryHierarchy::new(cfg.hierarchy),
+            lsq: Lsq::with_tracer(cfg.lsq, tracer.clone()).expect("validated above"),
+            mem: MemoryHierarchy::with_tracer(cfg.hierarchy, tracer.clone()),
+            tracer,
+            sampler: None,
             bp: HybridPredictor::new(),
             rob: RingQueue::new(cfg.rob_entries),
             iq: Vec::with_capacity(cfg.iq_entries),
@@ -144,6 +167,20 @@ impl Simulator {
     /// The configuration in use.
     pub fn config(&self) -> &SimConfig {
         &self.cfg
+    }
+
+    /// Attaches a windowed sampler; it observes every subsequent cycle.
+    /// Attach after warm-up so the timeline covers the measured window
+    /// only, or before it to make warm-up behaviour visible.
+    pub fn set_sampler(&mut self, sampler: Sampler) {
+        self.sampler = Some(sampler);
+    }
+
+    /// Detaches the sampler, flushing its partial last window.
+    pub fn take_sampler(&mut self) -> Option<Sampler> {
+        let mut s = self.sampler.take()?;
+        s.flush();
+        Some(s)
     }
 
     /// Pre-warms the cache hierarchy with the workload's data and code
@@ -187,6 +224,9 @@ impl Simulator {
     /// Advances the machine one cycle.
     fn step<S: InstructionStream>(&mut self, stream: &mut S) {
         self.cycle += 1;
+        // One clock for all sinks: the tracer clones in the LSQ and the
+        // hierarchy share the buffer this updates.
+        self.tracer.set_cycle(self.cycle);
         self.dcache_used = 0;
         self.lsq.begin_cycle();
         self.inject_invalidations();
@@ -204,6 +244,20 @@ impl Simulator {
         self.ooo_loads
             .record(self.lsq.out_of_order_issued_loads() as f64);
         self.inflight_loads.record(self.lsq.lq_occupancy() as f64);
+        if let Some(sampler) = &mut self.sampler {
+            let stats = self.lsq.stats();
+            sampler.observe(
+                self.cycle,
+                SampleInput {
+                    committed: self.committed,
+                    lq_occupancy: self.lsq.lq_occupancy(),
+                    sq_occupancy: self.lsq.sq_occupancy(),
+                    sq_searches: stats.sq_searches,
+                    lq_searches: stats.lq_searches(),
+                    inflight_loads: self.lsq.lq_occupancy(),
+                },
+            );
+        }
     }
 
     /// Injects external coherence invalidations (§2.2 scheme 2): with the
@@ -221,7 +275,11 @@ impl Simulator {
         let pick = self.coherence_rng.range_usize(1 << 16);
         if let Some(addr) = self.lsq.nth_issued_load_addr(pick) {
             if let Some(victim) = self.lsq.invalidate(addr) {
-                self.squash(victim, self.cfg.mispredict_penalty);
+                self.squash(
+                    victim,
+                    self.cfg.mispredict_penalty,
+                    SquashCause::Invalidation,
+                );
             }
         }
     }
@@ -249,7 +307,7 @@ impl Simulator {
                     self.mem.data_access(addr, true);
                     if let Some(victim) = violation {
                         let penalty = self.cfg.mispredict_penalty + self.cfg.pair_recovery_extra;
-                        self.squash(victim, penalty);
+                        self.squash(victim, penalty, SquashCause::CommitMemOrder);
                         break;
                     }
                 }
@@ -339,7 +397,7 @@ impl Simulator {
         let mut issued = 0usize;
         let mut int_left = self.cfg.int_units;
         let mut fp_left = self.cfg.fp_units;
-        let mut squash_request = None;
+        let mut squash_request: Option<(u64, SquashCause)> = None;
         let mut i = 0usize;
         while i < self.iq.len() && issued < self.cfg.issue_width {
             let seq = self.iq[i];
@@ -364,11 +422,11 @@ impl Simulator {
                     }
                     match self.lsq.load_issue(seq) {
                         LoadIssue::Issued(li) => {
-                            if li.load_order_violation.is_some() {
+                            if let Some(victim) = li.load_order_violation {
                                 // §2.2 scheme 1: a younger same-word load
                                 // issued out of order; squash it (the
                                 // issuing, older load proceeds).
-                                squash_request = li.load_order_violation;
+                                squash_request = Some((victim, SquashCause::LoadLoad));
                             }
                             let lat = if li.forwarded_from.is_some() {
                                 // Forwarded data arrives with hit latency.
@@ -406,8 +464,8 @@ impl Simulator {
                         *unit_left -= 1;
                         issued += 1;
                         self.iq.remove(i);
-                        if violation.is_some() {
-                            squash_request = violation;
+                        if let Some(victim) = violation {
+                            squash_request = Some((victim, SquashCause::MemOrder));
                             break;
                         }
                     }
@@ -433,8 +491,8 @@ impl Simulator {
                 }
             }
         }
-        if let Some(victim) = squash_request {
-            self.squash(victim, self.cfg.mispredict_penalty);
+        if let Some((victim, cause)) = squash_request {
+            self.squash(victim, self.cfg.mispredict_penalty, cause);
         }
     }
 
@@ -555,8 +613,23 @@ impl Simulator {
 
     /// Flushes `victim` and everything younger, rewinds fetch to refetch
     /// from `victim`, and charges `penalty` cycles before fetch resumes.
-    fn squash(&mut self, victim: u64, penalty: u64) {
+    fn squash(&mut self, victim: u64, penalty: u64, cause: SquashCause) {
         self.violation_squashes += 1;
+        if self.tracer.enabled() {
+            // The victim's PC must be read before the ROB truncation
+            // removes the entry.
+            let pc = self
+                .rob
+                .get(victim)
+                .map(|e| e.instr.pc)
+                .unwrap_or(lsq_isa::Pc(0));
+            self.tracer.emit(Event::Squash {
+                victim,
+                pc,
+                cause,
+                penalty,
+            });
+        }
         let removed = self.rob.truncate_from(victim);
         self.instructions_squashed += removed as u64;
         self.iq.retain(|&s| s < victim);

@@ -273,6 +273,42 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "not a prefix snapshot")]
+    fn histogram_subtract_rejects_overflow_underflow() {
+        // Bucket counts alone cannot tell these apart: both histograms
+        // have two observations in the last bucket, but the "earlier"
+        // one got there by overflow. The overflow counter must be
+        // checked independently, else it would wrap.
+        let mut later = Histogram::new(2);
+        later.record(1);
+        later.record(1);
+        let mut earlier = Histogram::new(2);
+        earlier.record(9);
+        later.subtract(&earlier);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket mismatch")]
+    fn histogram_subtract_rejects_shape_mismatch() {
+        let mut later = Histogram::new(3);
+        later.subtract(&Histogram::new(2));
+    }
+
+    #[test]
+    fn histogram_subtract_self_empties() {
+        let mut h = Histogram::new(3);
+        h.record(0);
+        h.record(2);
+        h.record(9);
+        let snap = h.clone();
+        h.subtract(&snap);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert!(h.iter().all(|(_, c)| c == 0));
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
     fn histogram_iter_covers_all_buckets() {
         let mut h = Histogram::new(3);
         h.record(1);

@@ -17,6 +17,8 @@
 //! * [`trace`] (`lsq-trace`) — the 18 SPEC2K-like synthetic workloads.
 //! * [`experiments`] (`lsq-experiments`) — one runner per paper table and
 //!   figure.
+//! * [`obs`] (`lsq-obs`) — event tracing (JSONL / Chrome `trace_event`),
+//!   windowed time-series sampling, and per-PC squash attribution.
 //! * [`isa`], [`stats`], [`util`] — shared substrates.
 //!
 //! # Quickstart
@@ -36,6 +38,7 @@ pub use lsq_core as core;
 pub use lsq_experiments as experiments;
 pub use lsq_isa as isa;
 pub use lsq_mem as mem;
+pub use lsq_obs as obs;
 pub use lsq_pipeline as pipeline;
 pub use lsq_stats as stats;
 pub use lsq_trace as trace;
