@@ -61,6 +61,10 @@ use lsq_isa::Addr;
 pub struct LoadBuffer {
     capacity: usize,
     loads: std::collections::VecDeque<TrackedLoad>,
+    /// Index into `loads` of the NILP target (== `loads.len()` when every
+    /// tracked load has issued). Cached so the per-issue NILP lookup does
+    /// not rescan the queue.
+    nilp_idx: usize,
     buffered: usize,
     total_searches: u64,
 }
@@ -73,6 +77,7 @@ impl LoadBuffer {
         Self {
             capacity,
             loads: std::collections::VecDeque::new(),
+            nilp_idx: 0,
             buffered: 0,
             total_searches: 0,
         }
@@ -113,6 +118,9 @@ impl LoadBuffer {
     /// Oldest *buffered* load younger than `seq` reading the same word —
     /// the load-load ordering violation the buffer search detects.
     fn violation_victim(&self, seq: u64, addr: Addr) -> Option<u64> {
+        if self.buffered == 0 {
+            return None;
+        }
         self.loads
             .iter()
             .find(|l| l.buffered && l.seq > seq && l.addr.same_word(addr))
@@ -121,7 +129,7 @@ impl LoadBuffer {
 
     /// The NILP: sequence number of the oldest non-issued load.
     pub fn nilp(&self) -> Option<u64> {
-        self.loads.iter().find(|l| !l.issued).map(|l| l.seq)
+        self.loads.get(self.nilp_idx).map(|l| l.seq)
     }
 
     fn index_of(&self, seq: u64) -> Option<usize> {
@@ -146,16 +154,18 @@ impl LoadBuffer {
             let violation = self.violation_victim(seq, addr);
             self.loads[idx].issued = true;
             let mut searches = 1u32;
-            for i in idx + 1..self.loads.len() {
-                if !self.loads[i].issued {
+            self.nilp_idx += 1;
+            while let Some(l) = self.loads.get_mut(self.nilp_idx) {
+                if !l.issued {
                     break;
                 }
-                if self.loads[i].buffered {
-                    self.loads[i].buffered = false;
+                if l.buffered {
+                    l.buffered = false;
                     self.buffered -= 1;
                     // The released load performs its final buffer search.
                     searches += 1;
                 }
+                self.nilp_idx += 1;
             }
             self.total_searches += u64::from(searches);
             LbIssue::InOrder {
@@ -189,6 +199,13 @@ impl LoadBuffer {
             // defensively so capacity can never leak.
             self.buffered -= 1;
         }
+        if self.nilp_idx > 0 {
+            self.nilp_idx -= 1;
+        } else {
+            // Committing an unissued front is likewise unreachable, but
+            // re-derive the cached NILP defensively if it happens.
+            self.nilp_idx = self.loads.iter().take_while(|l| l.issued).count();
+        }
     }
 
     /// Squashes every tracked load with sequence number `>= seq`.
@@ -202,6 +219,7 @@ impl LoadBuffer {
             }
             self.loads.pop_back();
         }
+        self.nilp_idx = self.nilp_idx.min(self.loads.len());
     }
 
     /// Number of loads currently tracked (in flight).

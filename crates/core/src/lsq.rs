@@ -151,6 +151,11 @@ pub struct Lsq<T: Tracer = NopTracer> {
     sq_alloc: SegmentedAlloc,
     lq_ports: PortBook,
     sq_ports: PortBook,
+    /// Scratch buffer for store-queue search paths, reused across
+    /// searches so the issue path never allocates.
+    sq_path_buf: Vec<usize>,
+    /// Scratch buffer for load-queue search paths.
+    lq_path_buf: Vec<usize>,
     stats: LsqStats,
     tracer: T,
 }
@@ -199,22 +204,12 @@ impl<T: Tracer> Lsq<T> {
             sq_alloc,
             lq_ports: PortBook::new(nsegs, cfg.ports),
             sq_ports: PortBook::new(nsegs, cfg.ports),
+            sq_path_buf: Vec::with_capacity(nsegs),
+            lq_path_buf: Vec::with_capacity(nsegs),
             stats: LsqStats::new(nsegs),
             tracer,
             cfg,
         })
-    }
-
-    /// Emits one [`Event::SegAdvance`] per hop of a multi-segment
-    /// search path. Call only when the tracer is enabled.
-    fn emit_path(&mut self, queue: QueueSide, path: &[usize]) {
-        for w in path.windows(2) {
-            self.tracer.emit(Event::SegAdvance {
-                queue,
-                from_segment: w[0] as u32,
-                to_segment: w[1] as u32,
-            });
-        }
     }
 
     /// The configuration in use.
@@ -346,12 +341,21 @@ impl<T: Tracer> Lsq<T> {
             .any(|s| s.seq < load_seq && s.addr.same_word(addr))
     }
 
-    /// The segment path of a forwarding search: distinct segments of
-    /// stores older than the load, youngest first, truncated at the
-    /// segment containing the forwarding match. Empty span searches the
-    /// tail segment only.
-    fn sq_search_path(&self, load_seq: u64, addr: Addr) -> Vec<usize> {
-        let mut path: Vec<usize> = Vec::new();
+    /// Recomputes `self.sq_path_buf` as the segment path of a forwarding
+    /// search: distinct segments of stores older than the load, youngest
+    /// first, truncated at the segment containing the forwarding match.
+    /// Empty span searches the tail segment only.
+    ///
+    /// The path lands in a reusable scratch buffer so issuing never
+    /// allocates; an unsegmented queue's path is always `[0]`, so the
+    /// queue walk is skipped entirely there.
+    fn compute_sq_search_path(&mut self, load_seq: u64, addr: Addr) {
+        self.sq_path_buf.clear();
+        if self.cfg.segmentation.is_none() {
+            self.sq_path_buf.push(0);
+            return;
+        }
+        let path = &mut self.sq_path_buf;
         for s in self.sq.iter().rev().filter(|s| s.seq < load_seq) {
             if path.last() != Some(&s.place.segment) && !path.contains(&s.place.segment) {
                 path.push(s.place.segment);
@@ -365,23 +369,33 @@ impl<T: Tracer> Lsq<T> {
             // port for a cycle in the segment it starts from.
             path.push(self.sq.back().map_or(0, |s| s.place.segment));
         }
-        path
     }
 
-    /// The segment path and victim of a store's violation search over
-    /// loads younger than the store: distinct segments oldest-first,
-    /// stopping at the segment containing the oldest violating load.
-    fn lq_violation_scan(&self, store_seq: u64, addr: Addr) -> (Vec<usize>, Option<u64>) {
-        let mut path: Vec<usize> = Vec::new();
+    /// Recomputes `self.lq_path_buf` as the segment path of a store's
+    /// violation search over loads younger than the store — distinct
+    /// segments oldest-first, stopping at the segment containing the
+    /// oldest violating load — and returns that victim, if any.
+    fn compute_lq_violation_scan(&mut self, store_seq: u64, addr: Addr) -> Option<u64> {
+        let premature = |l: &&LqEntry| {
+            l.issued && l.addr.same_word(addr) && l.forwarded_from.is_none_or(|f| f < store_seq)
+        };
+        self.lq_path_buf.clear();
+        if self.cfg.segmentation.is_none() {
+            self.lq_path_buf.push(0);
+            return self
+                .lq
+                .iter()
+                .filter(|l| l.seq > store_seq)
+                .find(premature)
+                .map(|l| l.seq);
+        }
+        let path = &mut self.lq_path_buf;
         let mut victim = None;
         for l in self.lq.iter().filter(|l| l.seq > store_seq) {
             if !path.contains(&l.place.segment) {
                 path.push(l.place.segment);
             }
-            let premature = l.issued
-                && l.addr.same_word(addr)
-                && l.forwarded_from.is_none_or(|f| f < store_seq);
-            if premature {
+            if premature(&l) {
                 victim = Some(l.seq);
                 break;
             }
@@ -389,14 +403,20 @@ impl<T: Tracer> Lsq<T> {
         if path.is_empty() {
             path.push(self.lq.back().map_or(0, |l| l.place.segment));
         }
-        (path, victim)
+        victim
     }
 
-    /// The segment path of a load-load ordering search over loads younger
-    /// than the load (no victim in a uniprocessor run: the search is pure
-    /// bandwidth, which is exactly what the paper measures).
-    fn lq_loadload_path(&self, load_seq: u64) -> Vec<usize> {
-        let mut path: Vec<usize> = Vec::new();
+    /// Recomputes `self.lq_path_buf` as the segment path of a load-load
+    /// ordering search over loads younger than the load (no victim in a
+    /// uniprocessor run: the search is pure bandwidth, which is exactly
+    /// what the paper measures).
+    fn compute_lq_loadload_path(&mut self, load_seq: u64) {
+        self.lq_path_buf.clear();
+        if self.cfg.segmentation.is_none() {
+            self.lq_path_buf.push(0);
+            return;
+        }
+        let path = &mut self.lq_path_buf;
         for l in self.lq.iter().filter(|l| l.seq > load_seq) {
             if !path.contains(&l.place.segment) {
                 path.push(l.place.segment);
@@ -405,7 +425,6 @@ impl<T: Tracer> Lsq<T> {
         if path.is_empty() {
             path.push(self.lq.back().map_or(0, |l| l.place.segment));
         }
-        path
     }
 
     /// Attempts to issue load `seq` this cycle.
@@ -453,21 +472,19 @@ impl<T: Tracer> Lsq<T> {
             }
         };
 
-        // 4. Check (without booking) every port the load needs.
-        let sq_path = searches_sq.then(|| self.sq_search_path(seq, addr));
-        if let Some(p) = &sq_path {
-            if !self.sq_ports.can_book(p) {
+        // 4. Check (without booking) every port the load needs. Paths are
+        //    computed into the reusable scratch buffers.
+        if searches_sq {
+            self.compute_sq_search_path(seq, addr);
+            if !self.sq_ports.can_book(&self.sq_path_buf) {
                 self.stats.sq_port_stalls += 1;
                 return LoadIssue::NoSqPort;
             }
         }
-        let lq_path = self
-            .cfg
-            .load_order
-            .searches_lq()
-            .then(|| self.lq_loadload_path(seq));
-        if let Some(p) = &lq_path {
-            if !self.lq_ports.can_book(p) {
+        let searches_lq = self.cfg.load_order.searches_lq();
+        if searches_lq {
+            self.compute_lq_loadload_path(seq);
+            if !self.lq_ports.can_book(&self.lq_path_buf) {
                 self.stats.lq_port_stalls += 1;
                 return LoadIssue::NoLqPort;
             }
@@ -489,15 +506,17 @@ impl<T: Tracer> Lsq<T> {
         // their search happens to end within one segment.
         let head_segment = self.lq.front().map_or(0, |e| e.place.segment);
         let mut early_wakeup = self.lq[idx].place.segment == head_segment;
-        if let Some(p) = &sq_path {
-            self.sq_ports.book(p);
+        if searches_sq {
+            self.sq_ports.book(&self.sq_path_buf);
             self.stats.sq_searches += 1;
-            self.stats.seg_search_hist.record(p.len() - 1);
-            extra_cycles = (p.len() as u32).saturating_sub(1);
-            early_wakeup &= p.len() <= 1;
+            self.stats
+                .seg_search_hist
+                .record(self.sq_path_buf.len() - 1);
+            extra_cycles = (self.sq_path_buf.len() as u32).saturating_sub(1);
+            early_wakeup &= self.sq_path_buf.len() <= 1;
         }
-        if let Some(p) = &lq_path {
-            self.lq_ports.book(p);
+        if searches_lq {
+            self.lq_ports.book(&self.lq_path_buf);
             self.stats.lq_searches_by_loads += 1;
         }
         let mut load_order_violation = None;
@@ -519,7 +538,7 @@ impl<T: Tracer> Lsq<T> {
                     load_order_violation = violation;
                 }
             }
-        } else if lq_path.is_some() {
+        } else if searches_lq {
             // Conventional load-load search: detect the oldest younger
             // same-word load already issued out of order.
             load_order_violation = self
@@ -573,21 +592,21 @@ impl<T: Tracer> Lsq<T> {
         self.stats.loads_issued += 1;
         if self.tracer.enabled() {
             let pc = self.lq[idx].pc;
-            if let Some(p) = &sq_path {
+            if searches_sq {
                 self.tracer.emit(Event::SqSearch {
                     load: seq,
-                    segments: p.len() as u32,
+                    segments: self.sq_path_buf.len() as u32,
                     hit: forwarded_from.is_some(),
                 });
-                self.emit_path(QueueSide::Sq, p);
+                emit_seg_path(&mut self.tracer, QueueSide::Sq, &self.sq_path_buf);
             }
-            if let Some(p) = &lq_path {
+            if searches_lq {
                 self.tracer.emit(Event::LqSearch {
                     by: MemOp::Load,
                     seq,
-                    segments: p.len() as u32,
+                    segments: self.lq_path_buf.len() as u32,
                 });
-                self.emit_path(QueueSide::Lq, p);
+                emit_seg_path(&mut self.tracer, QueueSide::Lq, &self.lq_path_buf);
             }
             if lb_searched {
                 self.tracer.emit(Event::LbSearch { load: seq });
@@ -629,22 +648,17 @@ impl<T: Tracer> Lsq<T> {
         let addr = self.sq[idx].addr;
 
         // Conventional/perfect schemes: violation search at execute.
-        let scan =
-            (!self.cfg.predictor.detects_at_commit()).then(|| self.lq_violation_scan(seq, addr));
-        if let Some((path, _)) = &scan {
-            if !self.lq_ports.can_book(path) {
+        let searches_lq = !self.cfg.predictor.detects_at_commit();
+        let mut violation = None;
+        if searches_lq {
+            let victim = self.compute_lq_violation_scan(seq, addr);
+            if !self.lq_ports.can_book(&self.lq_path_buf) {
                 self.stats.lq_port_stalls += 1;
                 return StoreIssue::NoLqPort;
             }
-        }
-
-        let mut violation = None;
-        let mut searched_path = None;
-        if let Some((path, victim)) = scan {
-            self.lq_ports.book(&path);
+            self.lq_ports.book(&self.lq_path_buf);
             self.stats.lq_searches_by_stores += 1;
             violation = victim;
-            searched_path = Some(path);
         }
 
         let e = &mut self.sq[idx];
@@ -655,13 +669,13 @@ impl<T: Tracer> Lsq<T> {
         }
         self.stats.stores_issued += 1;
         if self.tracer.enabled() {
-            if let Some(p) = &searched_path {
+            if searches_lq {
                 self.tracer.emit(Event::LqSearch {
                     by: MemOp::Store,
                     seq,
-                    segments: p.len() as u32,
+                    segments: self.lq_path_buf.len() as u32,
                 });
-                self.emit_path(QueueSide::Lq, p);
+                emit_seg_path(&mut self.tracer, QueueSide::Lq, &self.lq_path_buf);
             }
             self.tracer.emit(Event::Issue {
                 op: MemOp::Store,
@@ -752,21 +766,21 @@ impl<T: Tracer> Lsq<T> {
 
         let mut violation = None;
         if self.cfg.predictor.detects_at_commit() {
-            let (path, victim) = self.lq_violation_scan(front.seq, front.addr);
-            if !self.lq_ports.can_book(&path) {
+            let victim = self.compute_lq_violation_scan(front.seq, front.addr);
+            if !self.lq_ports.can_book(&self.lq_path_buf) {
                 self.stats.commit_port_delays += 1;
                 return StoreDrain::Blocked;
             }
-            self.lq_ports.book(&path);
+            self.lq_ports.book(&self.lq_path_buf);
             self.stats.lq_searches_by_stores += 1;
             violation = victim;
             if self.tracer.enabled() {
                 self.tracer.emit(Event::LqSearch {
                     by: MemOp::Store,
                     seq: front.seq,
-                    segments: path.len() as u32,
+                    segments: self.lq_path_buf.len() as u32,
                 });
-                self.emit_path(QueueSide::Lq, &path);
+                emit_seg_path(&mut self.tracer, QueueSide::Lq, &self.lq_path_buf);
             }
         }
 
@@ -790,17 +804,15 @@ impl<T: Tracer> Lsq<T> {
     /// load, if any — used by coherence-traffic injectors to target words
     /// another processor would plausibly write (shared data being read).
     pub fn nth_issued_load_addr(&self, n: usize) -> Option<Addr> {
-        let issued: Vec<Addr> = self
-            .lq
+        let count = self.lq.iter().filter(|l| l.issued).count();
+        if count == 0 {
+            return None;
+        }
+        self.lq
             .iter()
             .filter(|l| l.issued)
+            .nth(n % count)
             .map(|l| l.addr)
-            .collect();
-        if issued.is_empty() {
-            None
-        } else {
-            Some(issued[n % issued.len()])
-        }
     }
 
     /// Processes an external invalidation of `addr`'s word (§2.2 scheme
@@ -906,6 +918,23 @@ impl<T: Tracer> Lsq<T> {
     /// The forwarding source bound to an issued load, if any.
     pub fn load_forwarded_from(&self, seq: u64) -> Option<u64> {
         self.lq_index(seq).and_then(|i| self.lq[i].forwarded_from)
+    }
+}
+
+/// Emits one [`Event::SegAdvance`] per hop of a multi-segment search
+/// path. A free function (not a method) so callers can borrow the path
+/// out of the `Lsq` scratch buffers; a no-op unless the tracer is
+/// enabled, so untraced builds pay nothing for path emission.
+fn emit_seg_path<T: Tracer>(tracer: &mut T, queue: QueueSide, path: &[usize]) {
+    if !tracer.enabled() {
+        return;
+    }
+    for w in path.windows(2) {
+        tracer.emit(Event::SegAdvance {
+            queue,
+            from_segment: w[0] as u32,
+            to_segment: w[1] as u32,
+        });
     }
 }
 

@@ -180,7 +180,6 @@ impl SegmentedAlloc {
 #[derive(Debug, Clone)]
 pub struct PortBook {
     ports: usize,
-    segments: usize,
     window: VecDeque<Vec<usize>>,
 }
 
@@ -198,16 +197,18 @@ impl PortBook {
         );
         Self {
             ports,
-            segments,
             window: (0..segments).map(|_| vec![0; segments]).collect(),
         }
     }
 
     /// Advances to the next cycle: reservations for the old current cycle
-    /// expire and a fresh farthest-future cycle opens.
+    /// expire and a fresh farthest-future cycle opens. The expired row is
+    /// recycled as the new one, so this runs every simulated cycle without
+    /// allocating.
     pub fn begin_cycle(&mut self) {
-        self.window.pop_front();
-        self.window.push_back(vec![0; self.segments]);
+        let mut row = self.window.pop_front().expect("window is never empty");
+        row.fill(0);
+        self.window.push_back(row);
     }
 
     /// Ports still free in `segment` this cycle.

@@ -18,11 +18,15 @@
 //! non-zero.
 //!
 //! The *aggressive* variant of Figures 6–7 is emulated here with
-//! alias-free tables (hash maps keyed by full PC / unbounded SSIDs), so
-//! store sets never conflict.
+//! alias-free tables (keyed by full PC / unbounded SSIDs), so store
+//! sets never conflict. Alias-free SSIDs are allocated sequentially, so
+//! the ideal LFST is a directly indexed, densely grown array rather
+//! than a hash map; the ideal SSIT has an unbounded PC domain and stays
+//! a map, but hashed with [`lsq_util::FastHasher`] instead of SipHash —
+//! both tables sit on the per-instruction fetch path.
 
 use lsq_isa::Pc;
-use std::collections::HashMap;
+use lsq_util::FastHashMap;
 
 /// A store-set identifier.
 pub type Ssid = u32;
@@ -57,9 +61,10 @@ pub struct StoreSetPredictor {
     /// Realistic LFST: `lfst_entries` slots indexed by `ssid % len`.
     lfst: Vec<LfstEntry>,
     /// Alias-free SSIT (aggressive variant): full PC → SSID.
-    ideal_ssit: HashMap<u64, Ssid>,
-    /// Alias-free LFST (aggressive variant): unbounded SSIDs.
-    ideal_lfst: HashMap<Ssid, LfstEntry>,
+    ideal_ssit: FastHashMap<u64, Ssid>,
+    /// Alias-free LFST (aggressive variant): directly indexed by SSID,
+    /// grown on demand (SSIDs are allocated sequentially).
+    ideal_lfst: Vec<LfstEntry>,
     /// Next SSID for alias-free allocation.
     next_ideal_ssid: Ssid,
     /// Whether the alias-free tables are in use.
@@ -89,8 +94,8 @@ impl StoreSetPredictor {
         Self {
             ssit: vec![None; ssit_entries],
             lfst: vec![LfstEntry::default(); lfst_entries],
-            ideal_ssit: HashMap::new(),
-            ideal_lfst: HashMap::new(),
+            ideal_ssit: FastHashMap::default(),
+            ideal_lfst: Vec::new(),
             next_ideal_ssid: 0,
             alias_free,
             ssit_bits: ssit_entries.trailing_zeros(),
@@ -123,7 +128,11 @@ impl StoreSetPredictor {
 
     fn lfst_mut(&mut self, ssid: Ssid) -> &mut LfstEntry {
         if self.alias_free {
-            self.ideal_lfst.entry(ssid).or_default()
+            let idx = ssid as usize;
+            if idx >= self.ideal_lfst.len() {
+                self.ideal_lfst.resize(idx + 1, LfstEntry::default());
+            }
+            &mut self.ideal_lfst[idx]
         } else {
             let len = self.lfst.len();
             &mut self.lfst[ssid as usize % len]
@@ -132,7 +141,10 @@ impl StoreSetPredictor {
 
     fn lfst(&self, ssid: Ssid) -> LfstEntry {
         if self.alias_free {
-            self.ideal_lfst.get(&ssid).copied().unwrap_or_default()
+            self.ideal_lfst
+                .get(ssid as usize)
+                .copied()
+                .unwrap_or_default()
         } else {
             self.lfst[ssid as usize % self.lfst.len()]
         }

@@ -30,8 +30,9 @@ use lsq_mem::MemoryHierarchy;
 use lsq_obs::{Event, NopTracer, SampleInput, Sampler, SquashCause, Tracer};
 use lsq_stats::RunningMean;
 use lsq_util::rng::Xoshiro256;
-use lsq_util::RingQueue;
-use std::collections::VecDeque;
+use lsq_util::{FastHashMap, RingQueue};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum State {
@@ -51,6 +52,12 @@ struct DynInst {
     complete_at: u64,
     /// Extra cycles dependents wait beyond `complete_at` (late wakeup).
     wakeup_extra: u32,
+    /// Event scheduler: producers not yet issued (one count per `deps`
+    /// slot, so a duplicated producer counts twice).
+    pending_deps: u8,
+    /// Event scheduler: cycle by which every already-issued producer's
+    /// result is available (meaningful while `pending_deps == 0`).
+    ready_at: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -76,9 +83,35 @@ pub struct Simulator<T: Tracer = NopTracer> {
     sampler: Option<Sampler>,
     bp: HybridPredictor,
     rob: RingQueue<DynInst>,
-    /// Sequence numbers of instructions waiting in the issue queue, in
-    /// program order.
-    iq: Vec<u64>,
+    /// Issue-queue occupancy, maintained by both scheduler modes and
+    /// used for dispatch backpressure.
+    iq_len: usize,
+    /// Event scheduler: instructions whose dependencies are all
+    /// satisfied. A min-heap on seq — the issue queue is filled in
+    /// program order, so popping ascending seqs reproduces the
+    /// program-order scan of the polling scheduler exactly.
+    ready: BinaryHeap<Reverse<u64>>,
+    /// Event scheduler: completion calendar of `(wake cycle, seq)` for
+    /// instructions whose last producer has issued but whose result is
+    /// not yet available. Entries move to `ready` exactly once.
+    calendar: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Event scheduler: producer seq → consumers subscribed to its
+    /// issue (late wakeup is folded in at notification time).
+    waiters: FastHashMap<u64, Vec<u64>>,
+    /// Event scheduler: producers with a nonzero late-wakeup penalty →
+    /// consumers whose `ready_at` folded that penalty in. Retirement
+    /// makes a result architecturally visible immediately, which can
+    /// precede `complete_at + wakeup_extra`; committing such a producer
+    /// re-relaxes its consumers (see [`Self::relax_late_wakeups`]).
+    late_waiters: FastHashMap<u64, Vec<u64>>,
+    /// Scratch for resource-stalled candidates re-queued after each
+    /// issue scan.
+    deferred: Vec<u64>,
+    /// Reference polling scheduler (equivalence testing): when `Some`,
+    /// issue re-scans this program-ordered list against the ROB every
+    /// cycle, exactly like the pre-event-wakeup code, and the event
+    /// structures above stay empty.
+    polling_iq: Option<Vec<u64>>,
     /// Architectural register → producing in-flight instruction.
     rename: [Option<u64>; 64],
     /// Fetched but not yet dispatched instructions.
@@ -137,7 +170,13 @@ impl<T: Tracer + Clone> Simulator<T> {
             sampler: None,
             bp: HybridPredictor::new(),
             rob: RingQueue::new(cfg.rob_entries),
-            iq: Vec::with_capacity(cfg.iq_entries),
+            iq_len: 0,
+            ready: BinaryHeap::new(),
+            calendar: BinaryHeap::new(),
+            waiters: FastHashMap::default(),
+            late_waiters: FastHashMap::default(),
+            deferred: Vec::new(),
+            polling_iq: None,
             rename: [None; 64],
             frontend: VecDeque::new(),
             replay: VecDeque::new(),
@@ -167,6 +206,21 @@ impl<T: Tracer + Clone> Simulator<T> {
     /// The configuration in use.
     pub fn config(&self) -> &SimConfig {
         &self.cfg
+    }
+
+    /// Switches to the reference polling scheduler: `issue` re-scans the
+    /// full issue queue in program order every cycle instead of using
+    /// event-driven wakeup. Architecturally identical, much slower —
+    /// exists so equivalence tests can compare both paths. Must be
+    /// called before any instruction dispatches. Not part of
+    /// [`SimConfig`]: the scheduler implementation is not an
+    /// architectural parameter.
+    pub fn set_reference_scheduler(&mut self) {
+        assert!(
+            self.rob.is_empty(),
+            "scheduler mode must be chosen before simulation starts"
+        );
+        self.polling_iq = Some(Vec::with_capacity(self.cfg.iq_entries));
     }
 
     /// Attaches a windowed sampler; it observes every subsequent cycle.
@@ -350,6 +404,9 @@ impl<T: Tracer + Clone> Simulator<T> {
     fn retire(&mut self, seq: u64) {
         let (s, e) = self.rob.pop().expect("retiring head");
         debug_assert_eq!(s, seq);
+        if e.wakeup_extra > 0 {
+            self.relax_late_wakeups(seq);
+        }
         debug_assert_eq!(self.replay_base, seq);
         self.replay.pop_front();
         self.replay_base += 1;
@@ -393,106 +450,278 @@ impl<T: Tracer + Clone> Simulator<T> {
             .all(|&d| self.dep_ready_at(d).is_some_and(|t| t <= self.cycle))
     }
 
+    /// Attempts to issue `seq` this cycle. Returns `true` if it issued
+    /// (the caller removes it from its scheduling structure), `false`
+    /// on a resource stall. Resource checks run in the same order as
+    /// the historical polling scan (unit, then dcache port, then LSQ)
+    /// so stall counters match between scheduler modes.
+    fn try_issue_one(
+        &mut self,
+        seq: u64,
+        e: &DynInst,
+        int_left: &mut usize,
+        fp_left: &mut usize,
+        squash_request: &mut Option<(u64, SquashCause)>,
+    ) -> bool {
+        let kind = e.instr.kind;
+        let unit_left = if kind.is_fp() { fp_left } else { int_left };
+        if *unit_left == 0 {
+            return false;
+        }
+        match kind {
+            InstrKind::Load => {
+                if self.dcache_used >= self.cfg.dcache_ports {
+                    return false;
+                }
+                match self.lsq.load_issue(seq) {
+                    LoadIssue::Issued(li) => {
+                        if let Some(victim) = li.load_order_violation {
+                            // §2.2 scheme 1: a younger same-word load
+                            // issued out of order; squash it (the
+                            // issuing, older load proceeds).
+                            *squash_request = Some((victim, SquashCause::LoadLoad));
+                        }
+                        let lat = if li.forwarded_from.is_some() {
+                            // Forwarded data arrives with hit latency.
+                            self.cfg.hierarchy.l1d_hit_latency()
+                        } else {
+                            self.mem.data_access(e.instr.addr, false)
+                        };
+                        let entry = self.rob.get_mut(seq).expect("resident");
+                        entry.state = State::Issued;
+                        entry.complete_at =
+                            self.cycle + u64::from(lat) + u64::from(li.extra_cycles);
+                        entry.wakeup_extra = if li.early_wakeup {
+                            0
+                        } else {
+                            self.cfg.late_wakeup_penalty
+                        };
+                        self.dcache_used += 1;
+                        *unit_left -= 1;
+                        true
+                    }
+                    _stall => false,
+                }
+            }
+            InstrKind::Store => match self.lsq.store_issue(seq) {
+                StoreIssue::Issued { violation } => {
+                    let entry = self.rob.get_mut(seq).expect("resident");
+                    entry.state = State::Issued;
+                    entry.complete_at = self.cycle + 1;
+                    *unit_left -= 1;
+                    if let Some(victim) = violation {
+                        *squash_request = Some((victim, SquashCause::MemOrder));
+                    }
+                    true
+                }
+                StoreIssue::NoLqPort => false,
+            },
+            _ => {
+                let entry = self.rob.get_mut(seq).expect("resident");
+                entry.state = State::Issued;
+                entry.complete_at = self.cycle + u64::from(kind.exec_latency());
+                let complete_at = entry.complete_at;
+                *unit_left -= 1;
+                if kind.is_branch() && self.pending_redirect == Some(seq) {
+                    // The mispredicted branch resolves: redirect fetch
+                    // after the Table 1 penalty.
+                    self.pending_redirect = None;
+                    self.fetch_resume_at = complete_at + self.cfg.mispredict_penalty;
+                    self.cur_fetch_block = None;
+                }
+                true
+            }
+        }
+    }
+
     fn issue(&mut self) {
         let mut issued = 0usize;
         let mut int_left = self.cfg.int_units;
         let mut fp_left = self.cfg.fp_units;
         let mut squash_request: Option<(u64, SquashCause)> = None;
-        let mut i = 0usize;
-        while i < self.iq.len() && issued < self.cfg.issue_width {
-            let seq = self.iq[i];
-            let e = *self.rob.get(seq).expect("IQ entry in ROB");
-            debug_assert_eq!(e.state, State::Waiting);
-            if !self.ready(&e) {
-                i += 1;
-                continue;
-            }
-            let kind = e.instr.kind;
-            let fp = kind.is_fp();
-            let unit_left = if fp { &mut fp_left } else { &mut int_left };
-            if *unit_left == 0 {
-                i += 1;
-                continue;
-            }
-            match kind {
-                InstrKind::Load => {
-                    if self.dcache_used >= self.cfg.dcache_ports {
-                        i += 1;
-                        continue;
-                    }
-                    match self.lsq.load_issue(seq) {
-                        LoadIssue::Issued(li) => {
-                            if let Some(victim) = li.load_order_violation {
-                                // §2.2 scheme 1: a younger same-word load
-                                // issued out of order; squash it (the
-                                // issuing, older load proceeds).
-                                squash_request = Some((victim, SquashCause::LoadLoad));
-                            }
-                            let lat = if li.forwarded_from.is_some() {
-                                // Forwarded data arrives with hit latency.
-                                self.cfg.hierarchy.l1d_hit_latency()
-                            } else {
-                                self.mem.data_access(e.instr.addr, false)
-                            };
-                            let entry = self.rob.get_mut(seq).expect("resident");
-                            entry.state = State::Issued;
-                            entry.complete_at =
-                                self.cycle + u64::from(lat) + u64::from(li.extra_cycles);
-                            entry.wakeup_extra = if li.early_wakeup {
-                                0
-                            } else {
-                                self.cfg.late_wakeup_penalty
-                            };
-                            self.dcache_used += 1;
-                            *unit_left -= 1;
-                            issued += 1;
-                            self.iq.remove(i);
-                            if squash_request.is_some() {
-                                break;
-                            }
-                        }
-                        _stall => {
-                            i += 1;
-                        }
-                    }
+        if let Some(mut iq) = self.polling_iq.take() {
+            // Reference mode: re-scan the whole issue queue in program
+            // order, re-walking dependencies against the ROB.
+            let mut i = 0usize;
+            while i < iq.len() && issued < self.cfg.issue_width {
+                let seq = iq[i];
+                let e = *self.rob.get(seq).expect("IQ entry in ROB");
+                debug_assert_eq!(e.state, State::Waiting);
+                if !self.ready(&e) {
+                    i += 1;
+                    continue;
                 }
-                InstrKind::Store => match self.lsq.store_issue(seq) {
-                    StoreIssue::Issued { violation } => {
-                        let entry = self.rob.get_mut(seq).expect("resident");
-                        entry.state = State::Issued;
-                        entry.complete_at = self.cycle + 1;
-                        *unit_left -= 1;
-                        issued += 1;
-                        self.iq.remove(i);
-                        if let Some(victim) = violation {
-                            squash_request = Some((victim, SquashCause::MemOrder));
-                            break;
-                        }
-                    }
-                    StoreIssue::NoLqPort => {
-                        i += 1;
-                    }
-                },
-                _ => {
-                    let entry = self.rob.get_mut(seq).expect("resident");
-                    entry.state = State::Issued;
-                    entry.complete_at = self.cycle + u64::from(kind.exec_latency());
-                    let complete_at = entry.complete_at;
-                    *unit_left -= 1;
+                if self.try_issue_one(seq, &e, &mut int_left, &mut fp_left, &mut squash_request) {
                     issued += 1;
-                    self.iq.remove(i);
-                    if kind.is_branch() && self.pending_redirect == Some(seq) {
-                        // The mispredicted branch resolves: redirect fetch
-                        // after the Table 1 penalty.
-                        self.pending_redirect = None;
-                        self.fetch_resume_at = complete_at + self.cfg.mispredict_penalty;
-                        self.cur_fetch_block = None;
+                    iq.remove(i);
+                    self.iq_len -= 1;
+                    if squash_request.is_some() {
+                        break;
                     }
+                } else {
+                    i += 1;
                 }
+            }
+            self.polling_iq = Some(iq);
+        } else {
+            // Event mode. All execution latencies are >= 1 cycle, so no
+            // instruction becomes ready mid-cycle as a consequence of
+            // this cycle's issues: the ready set is fixed once the
+            // calendar is drained, exactly as the polling scan sees it.
+            while let Some(&Reverse((at, seq))) = self.calendar.peek() {
+                if at > self.cycle {
+                    break;
+                }
+                self.calendar.pop();
+                // An entry superseded by a late-wakeup relaxation no
+                // longer matches the instruction's `ready_at`; drop it
+                // (the earlier replacement entry carries the wakeup).
+                match self.rob.get(seq) {
+                    Some(e) if e.state == State::Waiting && e.ready_at == at => {
+                        self.ready.push(Reverse(seq));
+                    }
+                    _ => {}
+                }
+            }
+            debug_assert!(self.deferred.is_empty());
+            while issued < self.cfg.issue_width {
+                let Some(Reverse(seq)) = self.ready.pop() else {
+                    break;
+                };
+                let e = *self.rob.get(seq).expect("ready entry in ROB");
+                debug_assert_eq!(e.state, State::Waiting);
+                debug_assert!(self.ready(&e));
+                if self.try_issue_one(seq, &e, &mut int_left, &mut fp_left, &mut squash_request) {
+                    issued += 1;
+                    self.iq_len -= 1;
+                    self.wake_dependents(seq);
+                    if squash_request.is_some() {
+                        break;
+                    }
+                } else {
+                    // Resource stall: retry next cycle, like the polling
+                    // scan skipping and re-visiting the entry.
+                    self.deferred.push(seq);
+                }
+            }
+            for seq in self.deferred.drain(..) {
+                self.ready.push(Reverse(seq));
             }
         }
         if let Some((victim, cause)) = squash_request {
             self.squash(victim, self.cfg.mispredict_penalty, cause);
+        }
+    }
+
+    /// Subscribes a just-dispatched instruction to the event scheduler:
+    /// counts unissued producers as pending and registers with their
+    /// waiter lists; if everything has already issued, schedules the
+    /// wakeup directly.
+    fn enqueue_dispatched(&mut self, seq: u64, deps: [Option<u64>; 2]) {
+        let mut pending: u8 = 0;
+        let mut ready_at: u64 = 0;
+        for d in deps.iter().flatten() {
+            match self.rob.get(*d) {
+                None => {} // committed: satisfied at cycle 0
+                Some(p) => match p.state {
+                    State::Waiting => {
+                        pending += 1;
+                        self.waiters.entry(*d).or_default().push(seq);
+                    }
+                    State::Issued => {
+                        ready_at = ready_at.max(p.complete_at + u64::from(p.wakeup_extra));
+                        if p.wakeup_extra > 0 {
+                            self.late_waiters.entry(*d).or_default().push(seq);
+                        }
+                    }
+                },
+            }
+        }
+        let e = self.rob.get_mut(seq).expect("just dispatched");
+        e.pending_deps = pending;
+        e.ready_at = ready_at;
+        if pending == 0 {
+            self.schedule_wakeup(seq, ready_at);
+        }
+    }
+
+    fn schedule_wakeup(&mut self, seq: u64, at: u64) {
+        if at <= self.cycle {
+            self.ready.push(Reverse(seq));
+        } else {
+            self.calendar.push(Reverse((at, seq)));
+        }
+    }
+
+    /// Notifies consumers that `producer` issued. Consumers whose last
+    /// pending producer this was get a calendar entry at the cycle all
+    /// their operands are available (late wakeup included).
+    fn wake_dependents(&mut self, producer: u64) {
+        let Some(consumers) = self.waiters.remove(&producer) else {
+            return;
+        };
+        let p = self.rob.get(producer).expect("producer resident");
+        let avail = p.complete_at + u64::from(p.wakeup_extra);
+        let late = p.wakeup_extra > 0;
+        for &c in &consumers {
+            let e = self.rob.get_mut(c).expect("consumer resident");
+            e.pending_deps -= 1;
+            e.ready_at = e.ready_at.max(avail);
+            if e.pending_deps > 0 {
+                continue;
+            }
+            let at = e.ready_at;
+            self.schedule_wakeup(c, at);
+        }
+        if late {
+            self.late_waiters.insert(producer, consumers);
+        }
+    }
+
+    /// Called when a producer with a late-wakeup penalty retires before
+    /// `complete_at + wakeup_extra`: retirement makes its result
+    /// architecturally visible right away (the polling scheduler sees
+    /// this through `dep_ready_at` returning zero for committed
+    /// producers), so consumers whose wakeup folded in the penalty are
+    /// recomputed and, when that moves their wakeup earlier, the
+    /// calendar entry is superseded — the old one is recognized as
+    /// stale at drain time because it no longer matches `ready_at`.
+    fn relax_late_wakeups(&mut self, producer: u64) {
+        let Some(consumers) = self.late_waiters.remove(&producer) else {
+            return;
+        };
+        for c in consumers {
+            let Some(e) = self.rob.get(c) else { continue };
+            if e.state != State::Waiting {
+                continue;
+            }
+            let deps = e.deps;
+            let pending = e.pending_deps;
+            let old = e.ready_at;
+            let mut ready_at = 0u64;
+            for d in deps.iter().flatten() {
+                if let Some(p) = self.rob.get(*d) {
+                    if p.state == State::Issued {
+                        ready_at = ready_at.max(p.complete_at + u64::from(p.wakeup_extra));
+                    }
+                }
+            }
+            if ready_at >= old {
+                continue;
+            }
+            if pending > 0 {
+                // Not schedulable yet; just correct the running max so
+                // the final wakeup no longer charges the stale penalty.
+                self.rob.get_mut(c).expect("consumer resident").ready_at = ready_at;
+                continue;
+            }
+            if old <= self.cycle {
+                // Already drained into (or about to drain into) the
+                // ready set this cycle; an earlier time changes nothing.
+                continue;
+            }
+            self.rob.get_mut(c).expect("consumer resident").ready_at = ready_at;
+            self.schedule_wakeup(c, ready_at);
         }
     }
 
@@ -508,7 +737,7 @@ impl<T: Tracer + Clone> Simulator<T> {
             if f.avail_at > self.cycle {
                 break;
             }
-            if self.rob.is_full() || self.iq.len() >= self.cfg.iq_entries {
+            if self.rob.is_full() || self.iq_len >= self.cfg.iq_entries {
                 break;
             }
             match f.instr.kind {
@@ -531,6 +760,8 @@ impl<T: Tracer + Clone> Simulator<T> {
                     state: State::Waiting,
                     complete_at: 0,
                     wakeup_extra: 0,
+                    pending_deps: 0,
+                    ready_at: 0,
                 })
                 .expect("checked not full");
             debug_assert_eq!(seq, f.gseq);
@@ -542,7 +773,12 @@ impl<T: Tracer + Clone> Simulator<T> {
             if let Some(dst) = f.instr.dst {
                 self.rename[dst.flat_index()] = Some(seq);
             }
-            self.iq.push(seq);
+            self.iq_len += 1;
+            if let Some(iq) = &mut self.polling_iq {
+                iq.push(seq);
+            } else {
+                self.enqueue_dispatched(seq, deps);
+            }
         }
     }
 
@@ -632,7 +868,36 @@ impl<T: Tracer + Clone> Simulator<T> {
         }
         let removed = self.rob.truncate_from(victim);
         self.instructions_squashed += removed as u64;
-        self.iq.retain(|&s| s < victim);
+        if let Some(iq) = &mut self.polling_iq {
+            iq.retain(|&s| s < victim);
+            self.iq_len = iq.len();
+        } else {
+            // Sequence numbers are reused after a squash, so squashed
+            // entries must be scrubbed eagerly from every scheduling
+            // structure; lazy deletion would confuse old entries with
+            // re-fetched instructions carrying the same seq.
+            self.ready.retain(|&Reverse(s)| s < victim);
+            self.calendar.retain(|&Reverse((_, s))| s < victim);
+            self.waiters.retain(|&p, consumers| {
+                if p >= victim {
+                    return false;
+                }
+                consumers.retain(|&c| c < victim);
+                !consumers.is_empty()
+            });
+            self.late_waiters.retain(|&p, consumers| {
+                if p >= victim {
+                    return false;
+                }
+                consumers.retain(|&c| c < victim);
+                !consumers.is_empty()
+            });
+            self.iq_len = self
+                .rob
+                .iter()
+                .filter(|(_, e)| e.state == State::Waiting)
+                .count();
+        }
         self.lsq.squash_from(victim);
         self.frontend.retain(|f| f.gseq < victim);
         // Rebuild the rename map from the surviving ROB contents.

@@ -1,0 +1,117 @@
+//! A fast, deterministic, non-cryptographic hasher for hot-path maps.
+//!
+//! The simulator keys hash maps by sequence numbers and program counters
+//! — small integers under the caller's control, never attacker input —
+//! so the standard library's SipHash (designed for HashDoS resistance)
+//! is pure overhead on these paths. [`FastHasher`] folds each written
+//! word through a splitmix64-style avalanche, which is a handful of
+//! multiplies and shifts and passes the same seed-independence bar the
+//! rest of the workspace holds (no per-process randomness, so map
+//! iteration order is stable across runs — though callers must still
+//! never let iteration order affect architectural state).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed through [`FastHasher`].
+pub type FastHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// A `HashSet` keyed through [`FastHasher`].
+pub type FastHashSet<K> = HashSet<K, BuildHasherDefault<FastHasher>>;
+
+/// splitmix64's finalization: full-avalanche mix of one 64-bit word.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Word-at-a-time splitmix64 hasher. Integer keys take the single-word
+/// fast path; byte slices are folded eight bytes at a time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastHasher(u64);
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.write_u64(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            // Tag the tail with its length so "ab" and "ab\0" differ.
+            word[7] = rest.len() as u8;
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.0 = mix(self.0 ^ i);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.write_u64(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.write_u64(u64::from(i));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(feed: impl Fn(&mut FastHasher)) -> u64 {
+        let mut h = FastHasher::default();
+        feed(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(|h| h.write_u64(42)), hash_of(|h| h.write_u64(42)));
+    }
+
+    #[test]
+    fn distinct_keys_distinct_hashes() {
+        // Not a collision-resistance proof, just a smoke test that the
+        // mix is not degenerate on small sequential keys.
+        let hashes: FastHashSet<u64> = (0..10_000u64)
+            .map(|i| hash_of(|h| h.write_u64(i)))
+            .collect();
+        assert_eq!(hashes.len(), 10_000);
+    }
+
+    #[test]
+    fn tail_bytes_are_length_tagged() {
+        assert_ne!(hash_of(|h| h.write(b"ab")), hash_of(|h| h.write(b"ab\0")));
+    }
+
+    #[test]
+    fn map_works_with_u64_keys() {
+        let mut m: FastHashMap<u64, u64> = FastHashMap::default();
+        for i in 0..100 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.get(&7), Some(&14));
+        assert_eq!(m.len(), 100);
+    }
+}

@@ -19,8 +19,10 @@
 //! assert_eq!(a.next_u64(), b.next_u64());
 //! ```
 
+pub mod hash;
 pub mod ring;
 pub mod rng;
 
+pub use hash::{FastHashMap, FastHashSet, FastHasher};
 pub use ring::RingQueue;
 pub use rng::Xoshiro256;
