@@ -1,0 +1,405 @@
+//! Noise-aware comparison of two `BENCH_sim*.json` throughput reports
+//! (the files written by the `bench` binary; see the `bench-diff` binary
+//! for the CLI).
+//!
+//! Host-side sim-MIPS numbers are noisy: short jobs wobble by tens of
+//! percent run-to-run, and even the geomean moves a few percent between
+//! otherwise identical builds. The gate therefore applies two
+//! thresholds, both configurable through [`DiffOptions`]:
+//!
+//! * **geomean**: the geomean of per-job `after/before` sim-MIPS ratios
+//!   over all matched jobs must stay above `1 - geomean_tolerance`.
+//!   Averaging over the whole matrix cancels most per-job noise, so this
+//!   tolerance can be tight (default 5%).
+//! * **per-job**: any single job slower by more than `job_tolerance`
+//!   (default 25%) is flagged — but only when *both* runs spent at least
+//!   `min_wall_nanos` (default 50 ms) on the job, because shorter jobs
+//!   are dominated by scheduling noise.
+//!
+//! Improvements never fail the gate; a faster `after` is the point.
+
+use lsq_obs::Json;
+
+/// One job row from a `BENCH_sim*.json` report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchJob {
+    /// Benchmark name (Table 2 workload).
+    pub bench: String,
+    /// Design-point label (`conventional2`, `pair`, ...).
+    pub config: String,
+    /// Host throughput: simulated instructions (warm-up included) per
+    /// wall second, in millions.
+    pub sim_mips: f64,
+    /// Host wall nanoseconds the job took.
+    pub wall_nanos: u64,
+}
+
+/// A parsed `BENCH_sim*.json` report.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Git revision the report was measured at.
+    pub git_rev: String,
+    /// Geomean sim-MIPS as recorded in the file.
+    pub geomean_sim_mips: f64,
+    /// Per-job rows.
+    pub jobs: Vec<BenchJob>,
+}
+
+impl BenchReport {
+    /// Parses the JSON text of a `BENCH_sim*.json` file.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let doc = Json::parse(text)?;
+        let jobs = doc
+            .get("jobs")
+            .and_then(Json::as_arr)
+            .ok_or("missing \"jobs\" array")?;
+        let mut rows = Vec::with_capacity(jobs.len());
+        for (i, job) in jobs.iter().enumerate() {
+            let field = |key: &str| {
+                job.get(key)
+                    .ok_or_else(|| format!("job {i}: missing \"{key}\""))
+            };
+            rows.push(BenchJob {
+                bench: field("bench")?
+                    .as_str()
+                    .ok_or_else(|| format!("job {i}: \"bench\" is not a string"))?
+                    .to_string(),
+                config: field("config")?
+                    .as_str()
+                    .ok_or_else(|| format!("job {i}: \"config\" is not a string"))?
+                    .to_string(),
+                sim_mips: field("sim_mips")?
+                    .as_f64()
+                    .ok_or_else(|| format!("job {i}: \"sim_mips\" is not a number"))?,
+                wall_nanos: field("wall_nanos")?
+                    .as_u64()
+                    .ok_or_else(|| format!("job {i}: \"wall_nanos\" is not an integer"))?,
+            });
+        }
+        Ok(BenchReport {
+            git_rev: doc
+                .get("git_rev")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            geomean_sim_mips: doc
+                .get("geomean_sim_mips")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            jobs: rows,
+        })
+    }
+}
+
+/// Thresholds for the regression gate (see the module docs for why the
+/// defaults differ by an order of magnitude).
+#[derive(Debug, Clone, Copy)]
+pub struct DiffOptions {
+    /// Maximum tolerated geomean slowdown (fraction; 0.05 = 5%).
+    pub geomean_tolerance: f64,
+    /// Maximum tolerated single-job slowdown (fraction; 0.25 = 25%).
+    pub job_tolerance: f64,
+    /// Jobs faster than this in *either* run are exempt from the
+    /// per-job gate (they still count toward the geomean).
+    pub min_wall_nanos: u64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            geomean_tolerance: 0.05,
+            job_tolerance: 0.25,
+            min_wall_nanos: 50_000_000,
+        }
+    }
+}
+
+/// One matched job with its throughput ratio.
+#[derive(Debug, Clone)]
+pub struct JobDelta {
+    /// The job (from the `after` report).
+    pub job: BenchJob,
+    /// `before` sim-MIPS for the same (bench, config).
+    pub before_mips: f64,
+    /// `after / before` sim-MIPS (> 1.0 means faster).
+    pub ratio: f64,
+    /// Whether this job tripped the per-job gate.
+    pub regressed: bool,
+    /// Whether the job was exempt from the per-job gate for being
+    /// shorter than [`DiffOptions::min_wall_nanos`] in either run.
+    pub noisy: bool,
+}
+
+/// The outcome of comparing two reports.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Matched jobs in `after` order.
+    pub deltas: Vec<JobDelta>,
+    /// Geomean of the per-job ratios (> 1.0 means `after` is faster).
+    pub geomean_ratio: f64,
+    /// Whether the geomean tripped its gate.
+    pub geomean_regressed: bool,
+    /// (bench, config) pairs present in only one report.
+    pub unmatched: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether the gate passes: no geomean regression and no per-job
+    /// regression.
+    pub fn ok(&self) -> bool {
+        !self.geomean_regressed && self.deltas.iter().all(|d| !d.regressed)
+    }
+
+    /// Human-readable comparison table plus verdict.
+    pub fn render(&self, opts: &DiffOptions) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:<14} {:>10} {:>10} {:>8}\n",
+            "bench", "config", "before", "after", "ratio"
+        ));
+        for d in &self.deltas {
+            let mark = if d.regressed {
+                "  REGRESSED"
+            } else if d.noisy && d.ratio < 1.0 {
+                "  (noisy: below per-job wall floor)"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "{:<12} {:<14} {:>10.2} {:>10.2} {:>8.3}{mark}\n",
+                d.job.bench, d.job.config, d.before_mips, d.job.sim_mips, d.ratio
+            ));
+        }
+        for name in &self.unmatched {
+            out.push_str(&format!("unmatched: {name}\n"));
+        }
+        out.push_str(&format!(
+            "geomean ratio {:.3} over {} jobs (gate: >= {:.3}; per-job gate: >= {:.3})\n",
+            self.geomean_ratio,
+            self.deltas.len(),
+            1.0 - opts.geomean_tolerance,
+            1.0 - opts.job_tolerance,
+        ));
+        out.push_str(if self.ok() {
+            "verdict: PASS\n"
+        } else {
+            "verdict: REGRESSION\n"
+        });
+        out
+    }
+}
+
+/// Compares two reports under `opts`. Jobs are matched by
+/// `(bench, config)`; unmatched jobs are listed but never fail the gate
+/// (a new design point in `after` is not a regression).
+pub fn diff(before: &BenchReport, after: &BenchReport, opts: &DiffOptions) -> DiffReport {
+    let mut deltas = Vec::new();
+    let mut unmatched = Vec::new();
+    let mut ratios = Vec::new();
+    for job in &after.jobs {
+        let Some(base) = before
+            .jobs
+            .iter()
+            .find(|b| b.bench == job.bench && b.config == job.config)
+        else {
+            unmatched.push(format!("{}/{} (after only)", job.bench, job.config));
+            continue;
+        };
+        let ratio = if base.sim_mips > 0.0 {
+            job.sim_mips / base.sim_mips
+        } else {
+            0.0
+        };
+        let noisy = job.wall_nanos < opts.min_wall_nanos || base.wall_nanos < opts.min_wall_nanos;
+        let regressed = !noisy && ratio < 1.0 - opts.job_tolerance;
+        ratios.push(ratio);
+        deltas.push(JobDelta {
+            job: job.clone(),
+            before_mips: base.sim_mips,
+            ratio,
+            regressed,
+            noisy,
+        });
+    }
+    for job in &before.jobs {
+        if !after
+            .jobs
+            .iter()
+            .any(|a| a.bench == job.bench && a.config == job.config)
+        {
+            unmatched.push(format!("{}/{} (before only)", job.bench, job.config));
+        }
+    }
+    let geomean_ratio = lsq_stats::geomean(&ratios).unwrap_or(1.0);
+    DiffReport {
+        geomean_regressed: geomean_ratio < 1.0 - opts.geomean_tolerance,
+        deltas,
+        geomean_ratio,
+        unmatched,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rows: &[(&str, &str, f64, u64)]) -> BenchReport {
+        BenchReport {
+            git_rev: "test".to_string(),
+            geomean_sim_mips: 0.0,
+            jobs: rows
+                .iter()
+                .map(|&(bench, config, sim_mips, wall_nanos)| BenchJob {
+                    bench: bench.to_string(),
+                    config: config.to_string(),
+                    sim_mips,
+                    wall_nanos,
+                })
+                .collect(),
+        }
+    }
+
+    const LONG: u64 = 200_000_000;
+
+    #[test]
+    fn identical_reports_pass() {
+        let a = report(&[("gzip", "pair", 2.0, LONG), ("mcf", "pair", 1.5, LONG)]);
+        let d = diff(&a, &a, &DiffOptions::default());
+        assert!(d.ok());
+        assert!((d.geomean_ratio - 1.0).abs() < 1e-12);
+        assert!(d.unmatched.is_empty());
+        assert!(d.render(&DiffOptions::default()).contains("PASS"));
+    }
+
+    #[test]
+    fn uniform_slowdown_trips_the_geomean_gate() {
+        let before = report(&[("gzip", "pair", 2.0, LONG), ("mcf", "pair", 1.5, LONG)]);
+        // 10% slower everywhere: under the 25% per-job gate but over the
+        // 5% geomean gate.
+        let after = report(&[("gzip", "pair", 1.8, LONG), ("mcf", "pair", 1.35, LONG)]);
+        let d = diff(&before, &after, &DiffOptions::default());
+        assert!(d.geomean_regressed);
+        assert!(!d.ok());
+        assert!(d.deltas.iter().all(|j| !j.regressed));
+        assert!(d.render(&DiffOptions::default()).contains("REGRESSION"));
+    }
+
+    #[test]
+    fn single_job_collapse_trips_the_per_job_gate() {
+        let before = report(&[
+            ("gzip", "pair", 2.0, LONG),
+            ("mcf", "pair", 1.5, LONG),
+            ("art", "pair", 3.0, LONG),
+        ]);
+        let after = report(&[
+            ("gzip", "pair", 2.0, LONG),
+            ("mcf", "pair", 1.5, LONG),
+            ("art", "pair", 1.0, LONG), // 3x slowdown on one job
+        ]);
+        let d = diff(&before, &after, &DiffOptions::default());
+        let art = d.deltas.iter().find(|j| j.job.bench == "art").unwrap();
+        assert!(art.regressed);
+        assert!(!d.ok());
+    }
+
+    #[test]
+    fn short_jobs_are_exempt_from_the_per_job_gate() {
+        let before = report(&[("gzip", "pair", 2.0, 1_000_000)]);
+        let after = report(&[("gzip", "pair", 1.0, 1_000_000)]);
+        // 2x slowdown on a 1 ms job: noisy, so only the geomean gate
+        // applies (and trips, since it is the only job).
+        let d = diff(&before, &after, &DiffOptions::default());
+        assert!(d.deltas[0].noisy);
+        assert!(!d.deltas[0].regressed);
+        assert!(d.geomean_regressed);
+        // Loosening the geomean tolerance lets the noisy pair through.
+        let loose = DiffOptions {
+            geomean_tolerance: 0.6,
+            ..DiffOptions::default()
+        };
+        assert!(diff(&before, &after, &loose).ok());
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let before = report(&[("gzip", "pair", 1.0, LONG)]);
+        let after = report(&[("gzip", "pair", 10.0, LONG)]);
+        assert!(diff(&before, &after, &DiffOptions::default()).ok());
+    }
+
+    #[test]
+    fn unmatched_jobs_are_reported_but_do_not_gate() {
+        let before = report(&[("gzip", "pair", 2.0, LONG), ("old", "pair", 1.0, LONG)]);
+        let after = report(&[("gzip", "pair", 2.0, LONG), ("new", "pair", 1.0, LONG)]);
+        let d = diff(&before, &after, &DiffOptions::default());
+        assert!(d.ok());
+        assert_eq!(
+            d.unmatched,
+            vec![
+                "new/pair (after only)".to_string(),
+                "old/pair (before only)".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_the_bench_binary_schema() {
+        let text = r#"{
+            "git_rev": "abc",
+            "instrs": 100,
+            "warmup": 10,
+            "seed": 1,
+            "geomean_sim_mips": 2.5,
+            "total_wall_nanos": 12345,
+            "jobs": [
+                {"bench": "gzip", "config": "pair", "sim_mips": 2.5,
+                 "wall_nanos": 1000, "cycles": 10, "committed": 100}
+            ]
+        }"#;
+        let r = BenchReport::parse(text).unwrap();
+        assert_eq!(r.git_rev, "abc");
+        assert_eq!(r.geomean_sim_mips, 2.5);
+        assert_eq!(
+            r.jobs,
+            vec![BenchJob {
+                bench: "gzip".to_string(),
+                config: "pair".to_string(),
+                sim_mips: 2.5,
+                wall_nanos: 1000,
+            }]
+        );
+    }
+
+    #[test]
+    fn parse_errors_name_the_field() {
+        assert!(BenchReport::parse("{}").unwrap_err().contains("jobs"));
+        let missing = r#"{"jobs": [{"bench": "gzip", "config": "pair"}]}"#;
+        assert!(BenchReport::parse(missing)
+            .unwrap_err()
+            .contains("sim_mips"));
+        assert!(BenchReport::parse("not json").is_err());
+    }
+
+    #[test]
+    fn committed_before_after_pair_passes() {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let before = std::fs::read_to_string(format!("{root}/BENCH_sim.before.json"))
+            .expect("committed before report");
+        let after = std::fs::read_to_string(format!("{root}/BENCH_sim.after.json"))
+            .expect("committed after report");
+        let before = BenchReport::parse(&before).unwrap();
+        let after = BenchReport::parse(&after).unwrap();
+        assert_eq!(before.jobs.len(), 72, "4 design points x 18 benchmarks");
+        assert_eq!(after.jobs.len(), 72);
+        let d = diff(&before, &after, &DiffOptions::default());
+        assert!(
+            d.ok(),
+            "committed pair regressed:\n{}",
+            d.render(&DiffOptions::default())
+        );
+        // Swapping the pair simulates the regression the gate exists to
+        // catch: the after build is much faster, so the reverse diff
+        // must fail.
+        assert!(!diff(&after, &before, &DiffOptions::default()).ok());
+    }
+}

@@ -5,20 +5,27 @@
 //! cargo run --release -p lsq-experiments --bin artifact -- table3 table6
 //! ```
 //!
-//! With no arguments (or `--list`) it prints the available names. Use
-//! `--bin all` to run everything in paper order.
+//! `artifact list` (or `--list`) prints the available names, one per
+//! line on stdout, for shell completion and scripting. With no
+//! arguments it prints the same menu as a usage error. Use `--bin all`
+//! to run everything in paper order.
 
 use lsq_experiments::experiments::{by_name, ARTIFACT_NAMES};
 use lsq_experiments::RunSpec;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty()
-        || args
-            .iter()
-            .any(|a| a == "--list" || a == "-l" || a == "--help")
+    if args
+        .iter()
+        .any(|a| a == "list" || a == "--list" || a == "-l")
     {
-        eprintln!("usage: artifact <name>... (one or more of the following)");
+        for name in ARTIFACT_NAMES {
+            println!("{name}");
+        }
+        std::process::exit(0);
+    }
+    if args.is_empty() || args.iter().any(|a| a == "--help") {
+        eprintln!("usage: artifact <name>... (one or more of the following; `artifact list` prints them on stdout)");
         for name in ARTIFACT_NAMES {
             eprintln!("  {name}");
         }

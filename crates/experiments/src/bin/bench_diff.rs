@@ -1,0 +1,92 @@
+//! `bench-diff` — noise-aware regression gate over two `BENCH_sim*.json`
+//! reports (as written by the `bench` binary).
+//!
+//! ```text
+//! cargo run --release -p lsq-experiments --bin bench-diff -- \
+//!     BENCH_sim.before.json BENCH_sim.after.json
+//! ```
+//!
+//! Prints a per-job comparison table and exits 0 when the gate passes,
+//! 1 on a regression, 2 on usage or parse errors. See
+//! [`lsq_experiments::benchdiff`] for the gate semantics (geomean and
+//! per-job thresholds, short-job exemption).
+//!
+//! Flags (all optional, after the two file paths):
+//!
+//! * `--tolerance <frac>`      geomean gate (default 0.05 = 5%)
+//! * `--job-tolerance <frac>`  per-job gate (default 0.25 = 25%)
+//! * `--min-wall-ms <n>`       per-job gate wall floor (default 50)
+
+use lsq_experiments::benchdiff::{diff, BenchReport, DiffOptions};
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "error: {msg}\n\nusage: bench-diff <before.json> <after.json> \
+         [--tolerance <frac>] [--job-tolerance <frac>] [--min-wall-ms <n>]"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> BenchReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| usage(&format!("could not read {path}: {e}")));
+    BenchReport::parse(&text).unwrap_or_else(|e| usage(&format!("{path}: {e}")))
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut opts = DiffOptions::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let need = |i: &mut usize| -> &str {
+            *i += 1;
+            argv.get(*i - 1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage("missing flag value"))
+        };
+        match argv[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                opts.geomean_tolerance = need(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --tolerance"));
+            }
+            "--job-tolerance" => {
+                i += 1;
+                opts.job_tolerance = need(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --job-tolerance"));
+            }
+            "--min-wall-ms" => {
+                i += 1;
+                let ms: u64 = need(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --min-wall-ms"));
+                opts.min_wall_nanos = ms * 1_000_000;
+            }
+            flag if flag.starts_with("--") => usage(&format!("unknown flag {flag}")),
+            path => {
+                paths.push(path.to_string());
+                i += 1;
+            }
+        }
+    }
+    let [before_path, after_path] = paths.as_slice() else {
+        usage("expected exactly two report paths");
+    };
+
+    let before = load(before_path);
+    let after = load(after_path);
+    println!(
+        "before: {} (geomean {:.2} sim-MIPS, rev {})",
+        before_path, before.geomean_sim_mips, before.git_rev
+    );
+    println!(
+        "after:  {} (geomean {:.2} sim-MIPS, rev {})",
+        after_path, after.geomean_sim_mips, after.git_rev
+    );
+    let report = diff(&before, &after, &opts);
+    print!("{}", report.render(&opts));
+    std::process::exit(if report.ok() { 0 } else { 1 });
+}

@@ -26,11 +26,19 @@
 //!   `LSQ_SAMPLE_CYCLES=<n>` — trace every *fresh* job through the
 //!   [`lsq_obs`] event ring / windowed sampler (cache hits re-serve old
 //!   results and are not re-traced); see [`lsq_obs::TraceConfig`].
+//! * `LSQ_METRICS_ADDR=<ip:port>` — serve live telemetry over HTTP
+//!   while batches run: `/metrics` in Prometheus text format, `/jobs`
+//!   as a JSON snapshot (see [`crate::telemetry`]).
+//! * `LSQ_PROFILE=1` — run every fresh job under the simulator
+//!   self-profiler ([`lsq_pipeline::WallProfiler`]): each
+//!   `LSQ_EXPERIMENTS_JSON` record carries its per-phase wall-time
+//!   profile, and the engine prints (and exposes) the batch aggregate.
 
 use crate::runner::RunSpec;
+use crate::telemetry;
 use lsq_core::LsqConfig;
 use lsq_obs::Json;
-use lsq_pipeline::{SimConfig, SimResult};
+use lsq_pipeline::{PhaseProfile, SimConfig, SimResult};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{IsTerminal, Write};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -95,6 +103,7 @@ struct JobRecord {
     sq_port_stalls: u64,
     lq_port_stalls: u64,
     commit_port_delays: u64,
+    profile: Option<PhaseProfile>,
 }
 
 impl JobRecord {
@@ -116,6 +125,7 @@ impl JobRecord {
             sq_port_stalls: r.lsq.sq_port_stalls,
             lq_port_stalls: r.lsq.lq_port_stalls,
             commit_port_delays: r.lsq.commit_port_delays,
+            profile: r.profile.clone(),
         }
     }
 
@@ -154,6 +164,13 @@ impl JobRecord {
             ("sq_port_stalls", self.sq_port_stalls.into()),
             ("lq_port_stalls", self.lq_port_stalls.into()),
             ("commit_port_delays", self.commit_port_delays.into()),
+            (
+                "profile",
+                match &self.profile {
+                    Some(p) => p.to_json(),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 }
@@ -202,6 +219,7 @@ impl Engine {
     /// [`Engine::run_batch`] with an explicit worker count, bypassing
     /// `LSQ_JOBS` / `available_parallelism` (determinism tests).
     pub fn run_batch_with_workers(&self, jobs: &[Job], workers: Option<usize>) -> Vec<SimResult> {
+        telemetry::global().maybe_serve_from_env();
         let keys: Vec<JobKey> = jobs.iter().map(Job::key).collect();
 
         // Unique uncached keys, in first-appearance order (deterministic).
@@ -217,6 +235,26 @@ impl Engine {
 
         let workers = workers.unwrap_or_else(|| worker_count(pending.len()));
         let fresh = self.run_pending(&pending, workers);
+
+        // Batch-level self-profile aggregate (LSQ_PROFILE=1): merged
+        // over fresh jobs and printed once; cache hits re-serve the
+        // profile stored with their original run.
+        let mut batch_profile: Option<PhaseProfile> = None;
+        for r in &fresh {
+            if let Some(p) = &r.profile {
+                match batch_profile.as_mut() {
+                    Some(agg) => agg.merge(p),
+                    None => batch_profile = Some(p.clone()),
+                }
+            }
+        }
+        if let Some(p) = &batch_profile {
+            eprintln!(
+                "profile: aggregate over {} fresh jobs\n{}",
+                fresh.len(),
+                p.render()
+            );
+        }
 
         {
             let mut cache = self.cache.lock().expect("engine cache poisoned");
@@ -238,12 +276,11 @@ impl Engine {
             .iter()
             .map(|k| !(ran.contains(k) && first_seen.insert(k)))
             .collect();
-        self.hits.fetch_add(
-            cached_flags.iter().filter(|&&c| c).count() as u64,
-            Ordering::Relaxed,
-        );
+        let batch_hits = cached_flags.iter().filter(|&&c| c).count() as u64;
+        self.hits.fetch_add(batch_hits, Ordering::Relaxed);
         self.misses
             .fetch_add(pending.len() as u64, Ordering::Relaxed);
+        telemetry::global().cache_counted(batch_hits, pending.len() as u64);
 
         {
             let mut records = self.records.lock().expect("engine records poisoned");
@@ -281,6 +318,8 @@ impl Engine {
         let done = AtomicUsize::new(0);
         let started = Instant::now();
         let progress = progress_enabled();
+        let tel = telemetry::global();
+        tel.batch_started(total, workers);
 
         std::thread::scope(|scope| {
             for w in 0..workers {
@@ -288,17 +327,20 @@ impl Engine {
                 let results = &results;
                 let done = &done;
                 scope.spawn(move || loop {
+                    let mut stolen = false;
                     let mut claimed = deques[w].lock().expect("deque poisoned").pop_front();
                     if claimed.is_none() {
-                        for other in deques.iter() {
+                        for (o, other) in deques.iter().enumerate() {
                             claimed = other.lock().expect("deque poisoned").pop_back();
                             if claimed.is_some() {
+                                stolen = o != w;
                                 break;
                             }
                         }
                     }
                     let Some(idx) = claimed else { break };
                     let job = pending[idx].1;
+                    tel.job_claimed(w, job_label(&job), stolen);
                     let t0 = Instant::now();
                     let mut r = crate::runner::run_design_point_uncached(
                         job.bench, job.lsq, job.scaled, job.spec,
@@ -307,6 +349,7 @@ impl Engine {
                     r.wall_nanos = wall.as_nanos() as u64;
                     let simulated = (job.spec.warmup + r.committed) as f64;
                     r.sim_mips = simulated / wall.as_secs_f64().max(1e-12) / 1e6;
+                    tel.job_finished(w, &r, job.spec.warmup);
                     *results[idx].lock().expect("result slot poisoned") = Some(r);
                     let n = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if progress {
@@ -425,6 +468,22 @@ fn worker_count_from(env: Option<&str>, parallelism: usize, jobs: usize) -> usiz
         .clamp(1, jobs.max(1))
 }
 
+/// Short human label for the `/jobs` worker view.
+fn job_label(job: &Job) -> String {
+    format!(
+        "{} ports={} pred={:?}{}{}",
+        job.bench,
+        job.lsq.ports,
+        job.lsq.predictor,
+        if job.lsq.segmentation.is_some() {
+            " segmented"
+        } else {
+            ""
+        },
+        if job.scaled { " scaled" } else { "" },
+    )
+}
+
 fn progress_enabled() -> bool {
     match std::env::var("LSQ_PROGRESS").ok().as_deref() {
         Some("0") => false,
@@ -469,6 +528,7 @@ mod tests {
             let mut r = r.clone();
             r.wall_nanos = 0;
             r.sim_mips = 0.0;
+            r.profile = None;
             r
         };
         let (a, b) = (strip(a), strip(b));

@@ -36,9 +36,11 @@
 //! assert!(r.ipc() > 0.1);
 //! ```
 
+pub mod benchdiff;
 pub mod engine;
 pub mod experiments;
 pub mod runner;
+pub mod telemetry;
 
 pub use engine::{worker_count, Engine, Job};
 pub use experiments::{all, by_name, Artifact, ARTIFACT_NAMES};

@@ -8,8 +8,8 @@
 
 use crate::engine::{self, Job};
 use lsq_core::LsqConfig;
-use lsq_obs::{Sampler, SharedTracer, TraceBuffer, TraceConfig};
-use lsq_pipeline::{SimConfig, SimResult, Simulator};
+use lsq_obs::{NopTracer, Sampler, SharedTracer, TraceBuffer, TraceConfig, Tracer};
+use lsq_pipeline::{NopProfiler, Profiler, SimConfig, SimResult, Simulator, WallProfiler};
 use lsq_trace::BenchProfile;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -65,8 +65,54 @@ pub fn run_design_point(bench: &str, lsq: LsqConfig, scaled: bool, spec: RunSpec
         .expect("one job, one result")
 }
 
+/// Whether `LSQ_PROFILE` asks for the simulator self-profiler: any
+/// non-empty value except `0` enables it (see [`lsq_pipeline::profile`]).
+pub fn profile_enabled() -> bool {
+    matches!(std::env::var("LSQ_PROFILE").ok().as_deref(),
+             Some(v) if !v.trim().is_empty() && v.trim() != "0")
+}
+
+/// The shared simulation core: warm up, snapshot, measure, difference —
+/// generic over the trace sink and the self-profiler so every
+/// (traced?, profiled?) combination monomorphizes to exactly the code
+/// it needs. The returned result carries the profiler's report (whole
+/// run, warm-up included — like `wall_nanos`, it is host-side timing
+/// and not windowed by the diff).
+fn simulate<T: Tracer + Clone, P: Profiler>(
+    bench: &str,
+    lsq: LsqConfig,
+    scaled: bool,
+    spec: RunSpec,
+    tracer: T,
+    profiler: P,
+    sample_window: Option<u64>,
+) -> (SimResult, Option<Sampler>) {
+    let profile = BenchProfile::named(bench).unwrap_or_else(|| panic!("unknown benchmark {bench}"));
+    let cfg = if scaled {
+        SimConfig::scaled(lsq)
+    } else {
+        SimConfig::with_lsq(lsq)
+    };
+    let mut stream = profile.stream(spec.seed);
+    let mut sim = Simulator::with_parts(cfg, tracer, profiler);
+    if let Some(window) = sample_window {
+        sim.set_sampler(Sampler::new(window));
+    }
+    sim.prewarm(&stream.data_regions(), stream.code_region());
+    if spec.warmup > 0 {
+        let _ = sim.run(&mut stream, spec.warmup);
+    }
+    let before = sim.run(&mut stream, 0);
+    let after = sim.run(&mut stream, spec.instrs);
+    let result = diff_results(&before, &after);
+    let sampler = sim.take_sampler();
+    (result, sampler)
+}
+
 /// The uncached simulation underneath [`run_design_point`]: warm up,
 /// snapshot, measure, difference. Called by the engine for cache misses.
+/// Honours `LSQ_TRACE` (event ring + sampler) and `LSQ_PROFILE` (phase
+/// profiler) in any combination.
 ///
 /// The warm-up phase runs on the same machine state; measured counters
 /// are obtained by differencing cumulative counters against the
@@ -77,12 +123,37 @@ pub(crate) fn run_design_point_uncached(
     scaled: bool,
     spec: RunSpec,
 ) -> SimResult {
+    let profiled = profile_enabled();
     if let Some(trace) = TraceConfig::from_env() {
         // Parallel jobs write to distinct paths: the first job gets the
         // configured path verbatim, later ones a `.N` suffix.
         static TRACED_JOBS: AtomicU64 = AtomicU64::new(0);
         let trace = trace.for_job(TRACED_JOBS.fetch_add(1, Ordering::Relaxed));
-        let (result, buf, sampler) = run_traced(bench, lsq, scaled, spec, &trace);
+        let tracer = SharedTracer::with_capacity(trace.capacity);
+        let window = trace.effective_sample_cycles();
+        let (result, sampler) = if profiled {
+            simulate(
+                bench,
+                lsq,
+                scaled,
+                spec,
+                tracer.clone(),
+                WallProfiler::new(),
+                window,
+            )
+        } else {
+            simulate(
+                bench,
+                lsq,
+                scaled,
+                spec,
+                tracer.clone(),
+                NopProfiler,
+                window,
+            )
+        };
+        let buf = tracer.snapshot();
+        warn_on_trace_drops(bench, &buf);
         match trace.write(&buf, sampler.as_ref()) {
             Ok(paths) => {
                 for p in paths {
@@ -96,21 +167,37 @@ pub(crate) fn run_design_point_uncached(
         }
         return result;
     }
-    let profile = BenchProfile::named(bench).unwrap_or_else(|| panic!("unknown benchmark {bench}"));
-    let cfg = if scaled {
-        SimConfig::scaled(lsq)
+    if profiled {
+        simulate(
+            bench,
+            lsq,
+            scaled,
+            spec,
+            NopTracer,
+            WallProfiler::new(),
+            None,
+        )
+        .0
     } else {
-        SimConfig::with_lsq(lsq)
-    };
-    let mut stream = profile.stream(spec.seed);
-    let mut sim = Simulator::new(cfg);
-    sim.prewarm(&stream.data_regions(), stream.code_region());
-    if spec.warmup > 0 {
-        let _ = sim.run(&mut stream, spec.warmup);
+        simulate(bench, lsq, scaled, spec, NopTracer, NopProfiler, None).0
     }
-    let before = sim.run(&mut stream, 0);
-    let after = sim.run(&mut stream, spec.instrs);
-    diff_results(&before, &after)
+}
+
+/// Surfaces trace-ring overflow at sink flush: a truncated JSONL/Chrome
+/// artifact is silently misleading, so drops cost a stderr warning and
+/// a bump of the `lsq_trace_events_dropped_total` metric.
+fn warn_on_trace_drops(bench: &str, buf: &TraceBuffer) {
+    if buf.dropped() > 0 {
+        crate::telemetry::global().trace_drops(buf.dropped());
+        eprintln!(
+            "warning: {bench}: trace ring dropped {} of {} events; \
+             the written trace is truncated (raise LSQ_TRACE_CAP, \
+             currently {})",
+            buf.dropped(),
+            buf.total(),
+            buf.capacity(),
+        );
+    }
 }
 
 /// [`run_design_point_uncached`] with tracing: the simulator carries a
@@ -133,26 +220,16 @@ pub fn run_traced(
     spec: RunSpec,
     trace: &TraceConfig,
 ) -> (SimResult, TraceBuffer, Option<Sampler>) {
-    let profile = BenchProfile::named(bench).unwrap_or_else(|| panic!("unknown benchmark {bench}"));
-    let cfg = if scaled {
-        SimConfig::scaled(lsq)
-    } else {
-        SimConfig::with_lsq(lsq)
-    };
-    let mut stream = profile.stream(spec.seed);
     let tracer = SharedTracer::with_capacity(trace.capacity);
-    let mut sim = Simulator::with_tracer(cfg, tracer.clone());
-    if let Some(window) = trace.effective_sample_cycles() {
-        sim.set_sampler(Sampler::new(window));
-    }
-    sim.prewarm(&stream.data_regions(), stream.code_region());
-    if spec.warmup > 0 {
-        let _ = sim.run(&mut stream, spec.warmup);
-    }
-    let before = sim.run(&mut stream, 0);
-    let after = sim.run(&mut stream, spec.instrs);
-    let result = diff_results(&before, &after);
-    let sampler = sim.take_sampler();
+    let (result, sampler) = simulate(
+        bench,
+        lsq,
+        scaled,
+        spec,
+        tracer.clone(),
+        NopProfiler,
+        trace.effective_sample_cycles(),
+    );
     (result, tracer.snapshot(), sampler)
 }
 
@@ -401,6 +478,7 @@ mod tests {
             hit_cycle_cap: false,
             wall_nanos: 0,
             sim_mips: 0.0,
+            profile: None,
         }
     }
 
@@ -422,6 +500,37 @@ mod tests {
         assert!(
             windowed >= r.cycles,
             "windows cover at least the measured phase"
+        );
+    }
+
+    #[test]
+    fn trace_ring_overflow_is_counted_and_surfaced() {
+        let trace = TraceConfig {
+            capacity: 32,
+            ..TraceConfig::parse("unused.json", None)
+        };
+        let (_, buf, _) = run_traced("gzip", LsqConfig::default(), false, SMALL, &trace);
+        assert_eq!(buf.capacity(), 32);
+        assert!(
+            buf.dropped() > 0,
+            "a real run overflows a 32-event ring ({} events total)",
+            buf.total()
+        );
+        assert_eq!(buf.dropped() + buf.len() as u64, buf.total());
+        let before = crate::telemetry::global().metrics().render();
+        warn_on_trace_drops("gzip", &buf);
+        let after = crate::telemetry::global().metrics().render();
+        let count = |text: &str| -> u64 {
+            text.lines()
+                .find(|l| l.starts_with("lsq_trace_events_dropped_total"))
+                .and_then(|l| l.split_whitespace().last())
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0)
+        };
+        assert_eq!(
+            count(&after),
+            count(&before) + buf.dropped(),
+            "sink flush bumps the drop metric"
         );
     }
 

@@ -22,10 +22,12 @@
 
 pub mod branch;
 pub mod config;
+pub mod profile;
 pub mod result;
 pub mod sim;
 
 pub use branch::HybridPredictor;
 pub use config::SimConfig;
+pub use profile::{NopProfiler, Phase, PhaseProfile, PhaseStat, Profiler, WallProfiler};
 pub use result::SimResult;
 pub use sim::Simulator;

@@ -1,5 +1,6 @@
 //! Results of a simulation run.
 
+use crate::profile::PhaseProfile;
 use lsq_core::LsqStats;
 
 /// Everything measured over one run.
@@ -53,6 +54,10 @@ pub struct SimResult {
     ///
     /// [`wall_nanos`]: SimResult::wall_nanos
     pub sim_mips: f64,
+    /// Per-phase wall-time self-profile, `None` unless the run was
+    /// profiled (see [`crate::profile`]). Host-side timing, not a
+    /// simulated quantity — excluded from determinism comparisons.
+    pub profile: Option<PhaseProfile>,
 }
 
 impl SimResult {
@@ -205,6 +210,7 @@ mod tests {
             hit_cycle_cap: false,
             wall_nanos: 0,
             sim_mips: 0.0,
+            profile: None,
         }
     }
 

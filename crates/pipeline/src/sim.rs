@@ -23,6 +23,7 @@
 
 use crate::branch::HybridPredictor;
 use crate::config::SimConfig;
+use crate::profile::{NopProfiler, Phase, Profiler};
 use crate::result::SimResult;
 use lsq_core::{LoadIssue, Lsq, StoreDrain, StoreIssue};
 use lsq_isa::{Addr, InstrKind, Instruction, InstructionStream};
@@ -74,12 +75,19 @@ struct Fetched {
 /// compile to the pre-tracing code. A cloneable tracer (e.g.
 /// [`lsq_obs::SharedTracer`]) is shared with the LSQ and the memory
 /// hierarchy so all events land in one buffer in emission order.
+///
+/// The `P` parameter is the self-profiler, following the same pattern:
+/// the default [`NopProfiler`] makes every phase-timing site vanish
+/// under monomorphization, while
+/// [`WallProfiler`](crate::profile::WallProfiler) accumulates per-phase
+/// wall time and invocation counts (see [`crate::profile`]).
 #[derive(Debug)]
-pub struct Simulator<T: Tracer = NopTracer> {
+pub struct Simulator<T: Tracer = NopTracer, P: Profiler = NopProfiler> {
     cfg: SimConfig,
     lsq: Lsq<T>,
     mem: MemoryHierarchy<T>,
     tracer: T,
+    profiler: P,
     sampler: Option<Sampler>,
     bp: HybridPredictor,
     rob: RingQueue<DynInst>,
@@ -162,11 +170,25 @@ impl<T: Tracer + Clone> Simulator<T> {
     ///
     /// Panics if the configuration fails [`SimConfig::validate`].
     pub fn with_tracer(cfg: SimConfig, tracer: T) -> Self {
+        Self::with_parts(cfg, tracer, NopProfiler)
+    }
+}
+
+impl<T: Tracer + Clone, P: Profiler> Simulator<T, P> {
+    /// Builds a simulator with both a trace sink and a self-profiler
+    /// (the fully general constructor behind [`Simulator::new`] and
+    /// [`Simulator::with_tracer`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SimConfig::validate`].
+    pub fn with_parts(cfg: SimConfig, tracer: T, profiler: P) -> Self {
         cfg.validate().expect("valid simulator configuration");
         Self {
             lsq: Lsq::with_tracer(cfg.lsq, tracer.clone()).expect("validated above"),
             mem: MemoryHierarchy::with_tracer(cfg.hierarchy, tracer.clone()),
             tracer,
+            profiler,
             sampler: None,
             bp: HybridPredictor::new(),
             rob: RingQueue::new(cfg.rob_entries),
@@ -275,6 +297,21 @@ impl<T: Tracer + Clone> Simulator<T> {
         self.result(hit_cap)
     }
 
+    /// Runs `f` under the profiler's clock for `phase`. With profiling
+    /// disabled ([`NopProfiler`]) the `enabled()` check is a constant
+    /// and this compiles down to a plain call — no timestamps taken.
+    #[inline]
+    fn timed<R>(&mut self, phase: Phase, f: impl FnOnce(&mut Self) -> R) -> R {
+        if !self.profiler.enabled() {
+            return f(self);
+        }
+        let start = std::time::Instant::now();
+        let r = f(self);
+        self.profiler
+            .record(phase, start.elapsed().as_nanos() as u64);
+        r
+    }
+
     /// Advances the machine one cycle.
     fn step<S: InstructionStream>(&mut self, stream: &mut S) {
         self.cycle += 1;
@@ -282,13 +319,17 @@ impl<T: Tracer + Clone> Simulator<T> {
         // hierarchy share the buffer this updates.
         self.tracer.set_cycle(self.cycle);
         self.dcache_used = 0;
-        self.lsq.begin_cycle();
+        self.timed(Phase::SegmentAdvance, |s| s.lsq.begin_cycle());
         self.inject_invalidations();
-        self.drain_stores();
-        self.commit();
-        self.issue();
-        self.dispatch();
-        self.fetch(stream);
+        // Drains and retirement are one commit phase: drain-time LQ
+        // violation searches are charged here, not to LsqSearch.
+        self.timed(Phase::Commit, |s| {
+            s.drain_stores();
+            s.commit();
+        });
+        self.timed(Phase::WakeupIssue, |s| s.issue());
+        self.timed(Phase::Dispatch, |s| s.dispatch());
+        self.timed(Phase::Fetch, |s| s.fetch(stream));
         self.sample();
     }
 
@@ -473,7 +514,7 @@ impl<T: Tracer + Clone> Simulator<T> {
                 if self.dcache_used >= self.cfg.dcache_ports {
                     return false;
                 }
-                match self.lsq.load_issue(seq) {
+                match self.timed(Phase::LsqSearch, |s| s.lsq.load_issue(seq)) {
                     LoadIssue::Issued(li) => {
                         if let Some(victim) = li.load_order_violation {
                             // §2.2 scheme 1: a younger same-word load
@@ -503,7 +544,7 @@ impl<T: Tracer + Clone> Simulator<T> {
                     _stall => false,
                 }
             }
-            InstrKind::Store => match self.lsq.store_issue(seq) {
+            InstrKind::Store => match self.timed(Phase::LsqSearch, |s| s.lsq.store_issue(seq)) {
                 StoreIssue::Issued { violation } => {
                     let entry = self.rob.get_mut(seq).expect("resident");
                     entry.state = State::Issued;
@@ -849,7 +890,13 @@ impl<T: Tracer + Clone> Simulator<T> {
 
     /// Flushes `victim` and everything younger, rewinds fetch to refetch
     /// from `victim`, and charges `penalty` cycles before fetch resumes.
+    /// Profiled as [`Phase::Squash`], nested inside whichever phase
+    /// detected the violation.
     fn squash(&mut self, victim: u64, penalty: u64, cause: SquashCause) {
+        self.timed(Phase::Squash, |s| s.squash_inner(victim, penalty, cause));
+    }
+
+    fn squash_inner(&mut self, victim: u64, penalty: u64, cause: SquashCause) {
         self.violation_squashes += 1;
         if self.tracer.enabled() {
             // The victim's PC must be read before the ROB truncation
@@ -939,6 +986,7 @@ impl<T: Tracer + Clone> Simulator<T> {
             l2_miss_rate: self.mem.l2_stats().miss_rate(),
             wall_nanos: 0,
             sim_mips: 0.0,
+            profile: self.profiler.report(),
             hit_cycle_cap,
         }
     }

@@ -1,0 +1,30 @@
+//! Live telemetry: a lock-light metrics registry plus a tiny std-only
+//! HTTP exposition server.
+//!
+//! The experiment engine publishes its state here while a matrix runs —
+//! jobs queued/running/done, per-worker activity, cache hit rate,
+//! aggregate sim-MIPS, steal counts — and [`MetricsServer`] serves it
+//! in Prometheus text format (`/metrics`) plus a JSON job view
+//! (`/jobs`). See "Live telemetry & profiling" in EXPERIMENTS.md.
+//!
+//! Design constraints, in order:
+//!
+//! * **No external dependencies.** The workspace is fully offline, so
+//!   the registry, exposition format, and HTTP server are hand-rolled
+//!   on `std` (the HTTP subset is one request line + headers, enough
+//!   for `curl` and Prometheus scrapes).
+//! * **Cheap on the hot path.** Counters and gauges are single atomics
+//!   updated with `Relaxed` ordering; handles are `Arc`s resolved once
+//!   at registration, so recording never takes the registry lock.
+//!   Histograms take a per-metric mutex, which is fine at per-job (not
+//!   per-cycle) granularity.
+//! * **Reuse `crates/stats`.** Histogram bucketing is
+//!   [`lsq_stats::Histogram`] behind a bounds table, so the same code
+//!   path is exercised by the paper's occupancy tables and by live
+//!   telemetry.
+
+mod metrics;
+mod server;
+
+pub use metrics::{Counter, FloatGauge, Gauge, HistogramMetric, Metrics};
+pub use server::MetricsServer;

@@ -1,0 +1,533 @@
+//! The metrics registry: counters, gauges, and histograms with
+//! Prometheus text-format (0.0.4) rendering.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use lsq_stats::Histogram;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An integer gauge (queue depth, busy workers): can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge to an absolute value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via [`Gauge::sub`]).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A floating-point gauge (aggregate sim-MIPS), stored as `f64` bits in
+/// an atomic so readers never see a torn value.
+#[derive(Debug, Default)]
+pub struct FloatGauge {
+    bits: AtomicU64,
+}
+
+impl FloatGauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram over `u64` observations, bucketed by a fixed table of
+/// inclusive upper bounds (Prometheus `le` semantics). Bucketing and
+/// counting reuse [`lsq_stats::Histogram`]; observations above the last
+/// bound land in the implicit `+Inf` bucket.
+#[derive(Debug)]
+pub struct HistogramMetric {
+    bounds: Vec<u64>,
+    inner: Mutex<Histogram>,
+    sum: AtomicU64,
+}
+
+impl HistogramMetric {
+    fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            // One stats bucket per bound; overflow tracks +Inf.
+            inner: Mutex::new(Histogram::new(bounds.len())),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        // First bucket whose upper bound covers the value, or
+        // `bounds.len()` for +Inf — which is exactly the stats
+        // histogram's overflow clamp.
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.inner.lock().expect("histogram poisoned").record(idx);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.lock().expect("histogram poisoned").count()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative counts per bound (Prometheus `le` buckets), excluding
+    /// the implicit `+Inf` bucket (that is [`HistogramMetric::count`]).
+    pub fn cumulative(&self) -> Vec<(u64, u64)> {
+        let h = self.inner.lock().expect("histogram poisoned");
+        let mut acc = 0;
+        self.bounds
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                // The last stats bucket also absorbs the overflow
+                // clamp; peel that off so `le=<last bound>` counts only
+                // observations actually within the bound.
+                let in_bucket = if i + 1 == self.bounds.len() {
+                    h.bucket(i) - h.overflow()
+                } else {
+                    h.bucket(i)
+                };
+                acc += in_bucket;
+                (b, acc)
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Float(Arc<FloatGauge>),
+    Hist(Arc<HistogramMetric>),
+}
+
+impl Handle {
+    fn kind(&self) -> Kind {
+        match self {
+            Handle::Counter(_) => Kind::Counter,
+            Handle::Gauge(_) | Handle::Float(_) => Kind::Gauge,
+            Handle::Hist(_) => Kind::Histogram,
+        }
+    }
+}
+
+/// One metric name: help text, kind, and every labelled series.
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    series: Vec<(Vec<(String, String)>, Handle)>,
+}
+
+/// The registry. Registration is get-or-create keyed on
+/// `(name, labels)`; recording goes through the returned `Arc` handles
+/// and never touches the registry lock.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    families: Mutex<Vec<Family>>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or finds) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers (or finds) a labelled counter.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.register(name, help, labels, || Handle::Counter(Arc::default())) {
+            Handle::Counter(c) => c,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Registers (or finds) an unlabelled integer gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers (or finds) a labelled integer gauge.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.register(name, help, labels, || Handle::Gauge(Arc::default())) {
+            Handle::Gauge(g) => g,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Registers (or finds) an unlabelled floating-point gauge.
+    pub fn float_gauge(&self, name: &str, help: &str) -> Arc<FloatGauge> {
+        match self.register(name, help, &[], || Handle::Float(Arc::default())) {
+            Handle::Float(g) => g,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Registers (or finds) an unlabelled histogram with the given
+    /// inclusive upper bounds (strictly increasing; `+Inf` is implicit).
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[u64]) -> Arc<HistogramMetric> {
+        match self.register(name, help, &[], || {
+            Handle::Hist(Arc::new(HistogramMetric::new(bounds)))
+        }) {
+            Handle::Hist(h) => h,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Handle,
+    ) -> Handle {
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let mut families = self.families.lock().expect("registry poisoned");
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => f,
+            None => {
+                families.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    series: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        if let Some((_, handle)) = family.series.iter().find(|(l, _)| *l == labels) {
+            return handle.clone();
+        }
+        let handle = make();
+        if let Some((_, existing)) = family.series.first() {
+            assert_eq!(
+                existing.kind(),
+                handle.kind(),
+                "metric {name} registered with conflicting kinds"
+            );
+        }
+        family.series.push((labels, handle.clone()));
+        handle
+    }
+
+    /// Renders the whole registry in Prometheus text format 0.0.4.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let families = self.families.lock().expect("registry poisoned");
+        for family in families.iter() {
+            let kind = match family.series.first() {
+                Some((_, h)) => h.kind(),
+                None => continue,
+            };
+            out.push_str(&format!("# HELP {} {}\n", family.name, family.help));
+            out.push_str(&format!("# TYPE {} {}\n", family.name, kind.as_str()));
+            for (labels, handle) in &family.series {
+                match handle {
+                    Handle::Counter(c) => {
+                        render_sample(&mut out, &family.name, labels, &[], &c.get().to_string());
+                    }
+                    Handle::Gauge(g) => {
+                        render_sample(&mut out, &family.name, labels, &[], &g.get().to_string());
+                    }
+                    Handle::Float(g) => {
+                        render_sample(&mut out, &family.name, labels, &[], &g.get().to_string());
+                    }
+                    Handle::Hist(h) => {
+                        let count = h.count();
+                        for (bound, cum) in h.cumulative() {
+                            let le = ("le".to_string(), bound.to_string());
+                            render_sample(
+                                &mut out,
+                                &format!("{}_bucket", family.name),
+                                labels,
+                                std::slice::from_ref(&le),
+                                &cum.to_string(),
+                            );
+                        }
+                        let inf = ("le".to_string(), "+Inf".to_string());
+                        render_sample(
+                            &mut out,
+                            &format!("{}_bucket", family.name),
+                            labels,
+                            std::slice::from_ref(&inf),
+                            &count.to_string(),
+                        );
+                        render_sample(
+                            &mut out,
+                            &format!("{}_sum", family.name),
+                            labels,
+                            &[],
+                            &h.sum().to_string(),
+                        );
+                        render_sample(
+                            &mut out,
+                            &format!("{}_count", family.name),
+                            labels,
+                            &[],
+                            &count.to_string(),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Writes one exposition line: `name{labels} value`.
+fn render_sample(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    extra: &[(String, String)],
+    value: &str,
+) {
+    out.push_str(name);
+    if !labels.is_empty() || !extra.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().chain(extra).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape_label(v));
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Escapes a label value per the exposition format: backslash, quote,
+/// and newline.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let m = Metrics::new();
+        let c = m.counter("lsq_jobs_done", "jobs completed");
+        c.inc();
+        c.add(2);
+        assert_eq!(c.get(), 3);
+
+        let g = m.gauge("lsq_queue_depth", "jobs waiting");
+        g.set(5);
+        g.sub(2);
+        g.add(1);
+        assert_eq!(g.get(), 4);
+
+        let f = m.float_gauge("lsq_sim_mips", "aggregate throughput");
+        f.set(2.5);
+        assert_eq!(f.get(), 2.5);
+    }
+
+    #[test]
+    fn registration_is_get_or_create() {
+        let m = Metrics::new();
+        let a = m.counter("lsq_steals", "steals");
+        let b = m.counter("lsq_steals", "steals");
+        a.inc();
+        assert_eq!(b.get(), 1);
+
+        let w0 = m.gauge_with("lsq_worker_busy", "busy", &[("worker", "0")]);
+        let w1 = m.gauge_with("lsq_worker_busy", "busy", &[("worker", "1")]);
+        w0.set(1);
+        assert_eq!(w1.get(), 0);
+        let w0_again = m.gauge_with("lsq_worker_busy", "busy", &[("worker", "0")]);
+        assert_eq!(w0_again.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting kinds")]
+    fn kind_conflict_panics() {
+        let m = Metrics::new();
+        let _ = m.counter_with("lsq_thing", "x", &[("a", "1")]);
+        let _ = m.gauge_with("lsq_thing", "x", &[("a", "2")]);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = Metrics::new();
+        let h = m.histogram("lsq_job_wall_ms", "per-job wall", &[1, 10, 100]);
+        for v in [0, 1, 5, 10, 50, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1066);
+        assert_eq!(h.cumulative(), vec![(1, 2), (10, 4), (100, 5)]);
+    }
+
+    #[test]
+    fn exposition_format_golden() {
+        let m = Metrics::new();
+        m.counter("lsq_jobs_done", "Jobs completed.").add(7);
+        m.gauge_with(
+            "lsq_worker_busy",
+            "Worker is running a job.",
+            &[("worker", "0")],
+        )
+        .set(1);
+        m.gauge_with(
+            "lsq_worker_busy",
+            "Worker is running a job.",
+            &[("worker", "1")],
+        )
+        .set(0);
+        m.float_gauge("lsq_sim_mips", "Aggregate sim-MIPS.")
+            .set(3.5);
+        let h = m.histogram("lsq_job_wall_ms", "Per-job wall time (ms).", &[1, 10]);
+        h.record(0);
+        h.record(4);
+        h.record(99);
+
+        let expected = "\
+# HELP lsq_jobs_done Jobs completed.
+# TYPE lsq_jobs_done counter
+lsq_jobs_done 7
+# HELP lsq_worker_busy Worker is running a job.
+# TYPE lsq_worker_busy gauge
+lsq_worker_busy{worker=\"0\"} 1
+lsq_worker_busy{worker=\"1\"} 0
+# HELP lsq_sim_mips Aggregate sim-MIPS.
+# TYPE lsq_sim_mips gauge
+lsq_sim_mips 3.5
+# HELP lsq_job_wall_ms Per-job wall time (ms).
+# TYPE lsq_job_wall_ms histogram
+lsq_job_wall_ms_bucket{le=\"1\"} 1
+lsq_job_wall_ms_bucket{le=\"10\"} 2
+lsq_job_wall_ms_bucket{le=\"+Inf\"} 3
+lsq_job_wall_ms_sum 103
+lsq_job_wall_ms_count 3
+";
+        assert_eq!(m.render(), expected);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let m = Metrics::new();
+        m.counter_with("lsq_odd", "odd labels", &[("path", "a\"b\\c\nd")])
+            .inc();
+        let text = m.render();
+        assert!(
+            text.contains("lsq_odd{path=\"a\\\"b\\\\c\\nd\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let m = Arc::new(Metrics::new());
+        let c = m.counter("lsq_concurrent", "contended counter");
+        let h = m.histogram("lsq_concurrent_hist", "contended histogram", &[8, 64]);
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let c = Arc::clone(&c);
+                let h = Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0u64..1000 {
+                        c.inc();
+                        h.record((t * 1000 + i) % 100);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+        assert_eq!(h.count(), 8000);
+        // Values cycle uniformly over 0..100 (80 observations each);
+        // le=8 covers 9 of those values and le=64 covers 65.
+        assert_eq!(h.cumulative(), vec![(8, 9 * 80), (64, 65 * 80)]);
+    }
+}

@@ -1,0 +1,219 @@
+//! A tiny std-only HTTP/1.1 server exposing the registry.
+//!
+//! Serves exactly three GET routes, enough for `curl` and a Prometheus
+//! scrape loop:
+//!
+//! * `/metrics` — the registry in text format 0.0.4
+//! * `/jobs`    — a JSON snapshot supplied by the owner's callback
+//! * `/`        — a plain-text index of the above
+//!
+//! The accept loop runs on one background thread with a non-blocking
+//! listener so shutdown (on drop) is a flag flip plus a short poll
+//! interval, not a blocked `accept` that never wakes.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::Metrics;
+
+/// Callback producing the `/jobs` JSON body.
+pub type JobsFn = Box<dyn Fn() -> String + Send + Sync>;
+
+/// Handle to a running exposition server. Dropping it stops the
+/// background thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`, or port `0` for an
+    /// ephemeral port) and starts serving the registry.
+    pub fn start(addr: &str, metrics: Arc<Metrics>, jobs: JobsFn) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = Arc::clone(&shutdown);
+        let thread = std::thread::Builder::new()
+            .name("lsq-metrics".to_string())
+            .spawn(move || accept_loop(listener, metrics, jobs, stop))?;
+        Ok(Self {
+            addr: local,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, metrics: Arc<Metrics>, jobs: JobsFn, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Serve inline: requests are tiny and rare (human curl
+                // or a scrape every few seconds), so one thread is
+                // plenty and keeps ordering trivial.
+                let _ = serve(stream, &metrics, &jobs);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+fn serve(mut stream: TcpStream, metrics: &Metrics, jobs: &JobsFn) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_nonblocking(false)?;
+    let path = read_request_path(&mut stream)?;
+    let (status, content_type, body) = match path.as_str() {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            metrics.render(),
+        ),
+        "/jobs" => ("200 OK", "application/json", format!("{}\n", jobs())),
+        "/" => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            "lsq experiment engine\n\n/metrics  Prometheus text format\n/jobs     job table (JSON)\n"
+                .to_string(),
+        ),
+        _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads up to the end of the request headers and returns the path from
+/// the request line (query strings are ignored).
+fn read_request_path(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 256];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+            break;
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let line = text.lines().next().unwrap_or_default();
+    // "GET /metrics HTTP/1.1" -> "/metrics"
+    let path = line.split_whitespace().nth(1).unwrap_or("/");
+    let path = path.split('?').next().unwrap_or("/");
+    Ok(path.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header split");
+        (head.to_string(), body.to_string())
+    }
+
+    fn test_server() -> (MetricsServer, Arc<Metrics>) {
+        let metrics = Arc::new(Metrics::new());
+        let server = MetricsServer::start(
+            "127.0.0.1:0",
+            Arc::clone(&metrics),
+            Box::new(|| "{\"jobs\":[]}".to_string()),
+        )
+        .expect("bind ephemeral port");
+        (server, metrics)
+    }
+
+    #[test]
+    fn serves_metrics_jobs_index_and_404() {
+        let (server, metrics) = test_server();
+        metrics.counter("lsq_jobs_done", "done").add(3);
+
+        let (head, body) = get(server.addr(), "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+        assert!(body.contains("lsq_jobs_done 3"), "{body}");
+
+        let (head, body) = get(server.addr(), "/jobs");
+        assert!(head.contains("application/json"), "{head}");
+        assert_eq!(body, "{\"jobs\":[]}\n");
+
+        let (head, body) = get(server.addr(), "/");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(body.contains("/metrics"), "{body}");
+
+        let (head, _) = get(server.addr(), "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+
+    #[test]
+    fn metrics_reflect_updates_between_scrapes() {
+        let (server, metrics) = test_server();
+        let c = metrics.counter("lsq_live", "live counter");
+        let (_, body) = get(server.addr(), "/metrics");
+        assert!(body.contains("lsq_live 0"), "{body}");
+        c.add(41);
+        c.inc();
+        let (_, body) = get(server.addr(), "/metrics");
+        assert!(body.contains("lsq_live 42"), "{body}");
+    }
+
+    #[test]
+    fn drop_stops_the_listener() {
+        let (server, _metrics) = test_server();
+        let addr = server.addr();
+        drop(server);
+        // The port may linger in TIME_WAIT, but a fresh connect must
+        // not be served; either refused outright or closed unanswered.
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(mut stream) => {
+                let _ = write!(stream, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+                let mut out = String::new();
+                let _ = stream
+                    .set_read_timeout(Some(Duration::from_millis(500)))
+                    .and_then(|()| stream.read_to_string(&mut out).map(|_| ()));
+                assert!(!out.contains("200 OK"), "served after shutdown: {out}");
+            }
+        }
+    }
+}

@@ -19,6 +19,8 @@
 //!   figure.
 //! * [`obs`] (`lsq-obs`) — event tracing (JSONL / Chrome `trace_event`),
 //!   windowed time-series sampling, and per-PC squash attribution.
+//! * [`telemetry`] (`lsq-telemetry`) — live metrics registry plus the
+//!   Prometheus-format HTTP exposition server (`LSQ_METRICS_ADDR`).
 //! * [`isa`], [`stats`], [`util`] — shared substrates.
 //!
 //! # Quickstart
@@ -41,6 +43,7 @@ pub use lsq_mem as mem;
 pub use lsq_obs as obs;
 pub use lsq_pipeline as pipeline;
 pub use lsq_stats as stats;
+pub use lsq_telemetry as telemetry;
 pub use lsq_trace as trace;
 pub use lsq_util as util;
 
