@@ -33,12 +33,20 @@
 //!   self-profiler ([`lsq_pipeline::WallProfiler`]): each
 //!   `LSQ_EXPERIMENTS_JSON` record carries its per-phase wall-time
 //!   profile, and the engine prints (and exposes) the batch aggregate.
+//! * `LSQ_ACCOUNTING=1` — run every fresh job under the cycle
+//!   accountant ([`lsq_pipeline::SlotAccountant`]): each
+//!   `LSQ_EXPERIMENTS_JSON` record carries its CPI stack, the engine
+//!   prints the batch aggregate, and the per-component totals are
+//!   exposed as `lsq_cpi_stack_cycles_total{component=...}`.
+//! * `LSQ_ACCOUNTING_CSV=<path>[:window]` — with accounting on, also
+//!   write each fresh job's windowed per-component timeline as CSV
+//!   (job 0 gets `<path>` verbatim, later jobs a `.N` suffix).
 
 use crate::runner::RunSpec;
 use crate::telemetry;
 use lsq_core::LsqConfig;
 use lsq_obs::Json;
-use lsq_pipeline::{PhaseProfile, SimConfig, SimResult};
+use lsq_pipeline::{CpiStack, PhaseProfile, SimConfig, SimResult};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{IsTerminal, Write};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -103,7 +111,9 @@ struct JobRecord {
     sq_port_stalls: u64,
     lq_port_stalls: u64,
     commit_port_delays: u64,
+    capped: bool,
     profile: Option<PhaseProfile>,
+    cpi_stack: Option<CpiStack>,
 }
 
 impl JobRecord {
@@ -125,7 +135,9 @@ impl JobRecord {
             sq_port_stalls: r.lsq.sq_port_stalls,
             lq_port_stalls: r.lsq.lq_port_stalls,
             commit_port_delays: r.lsq.commit_port_delays,
+            capped: r.hit_cycle_cap,
             profile: r.profile.clone(),
+            cpi_stack: r.cpi_stack.clone(),
         }
     }
 
@@ -164,10 +176,18 @@ impl JobRecord {
             ("sq_port_stalls", self.sq_port_stalls.into()),
             ("lq_port_stalls", self.lq_port_stalls.into()),
             ("commit_port_delays", self.commit_port_delays.into()),
+            ("capped", self.capped.into()),
             (
                 "profile",
                 match &self.profile {
                     Some(p) => p.to_json(),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "cpi_stack",
+                match &self.cpi_stack {
+                    Some(s) => s.to_json(),
                     None => Json::Null,
                 },
             ),
@@ -256,6 +276,27 @@ impl Engine {
             );
         }
 
+        // Batch-level CPI-stack aggregate (LSQ_ACCOUNTING=1): merged
+        // over fresh jobs and printed once.
+        let mut batch_stack: Option<CpiStack> = None;
+        let mut batch_committed = 0u64;
+        for r in &fresh {
+            if let Some(s) = &r.cpi_stack {
+                batch_committed += r.committed;
+                match batch_stack.as_mut() {
+                    Some(agg) => agg.merge(s),
+                    None => batch_stack = Some(s.clone()),
+                }
+            }
+        }
+        if let Some(s) = &batch_stack {
+            eprintln!(
+                "cpi stack: aggregate over {} fresh jobs\n{}",
+                fresh.len(),
+                s.render(batch_committed)
+            );
+        }
+
         {
             let mut cache = self.cache.lock().expect("engine cache poisoned");
             for ((key, _), result) in pending.iter().zip(fresh) {
@@ -287,6 +328,18 @@ impl Engine {
             for ((job, &cached), result) in jobs.iter().zip(&cached_flags).zip(&results) {
                 records.push(JobRecord::from_result(*job, cached, result));
             }
+        }
+        // Capped runs report truncated counters: say so loudly at batch
+        // end instead of letting a deadlocked configuration pass as a
+        // slow one.
+        let capped_labels: Vec<String> = jobs
+            .iter()
+            .zip(&results)
+            .filter(|(_, r)| r.hit_cycle_cap)
+            .map(|(j, _)| job_label(j))
+            .collect();
+        if let Some(warning) = capped_warning(&capped_labels) {
+            eprintln!("{warning}");
         }
         if let Ok(path) = std::env::var("LSQ_EXPERIMENTS_JSON") {
             self.dump_json(&path);
@@ -466,6 +519,25 @@ fn worker_count_from(env: Option<&str>, parallelism: usize, jobs: usize) -> usiz
         .filter(|&n| n > 0)
         .unwrap_or(parallelism)
         .clamp(1, jobs.max(1))
+}
+
+/// The batch-end warning for jobs that ended on the safety cycle cap
+/// (their counters cover a truncated run), or `None` when no job was
+/// capped. Separated from the stderr print for testing.
+fn capped_warning(labels: &[String]) -> Option<String> {
+    if labels.is_empty() {
+        return None;
+    }
+    let mut msg = format!(
+        "warning: {} job(s) hit the safety cycle cap — counters are \
+         truncated and the configuration may be deadlocked:",
+        labels.len()
+    );
+    for label in labels {
+        msg.push_str("\n  capped: ");
+        msg.push_str(label);
+    }
+    Some(msg)
 }
 
 /// Short human label for the `/jobs` worker view.
@@ -656,5 +728,22 @@ mod tests {
             records[0].get("ipc").and_then(Json::as_f64).unwrap() > 0.1,
             "ipc serialized as a number"
         );
+        // Accounting off, healthy runs: explicit capped flag, no stack.
+        assert_eq!(get_bool(&records[0], "capped"), Some(false));
+        assert!(
+            matches!(records[0].get("cpi_stack"), Some(Json::Null)),
+            "cpi_stack field present but null without LSQ_ACCOUNTING"
+        );
+    }
+
+    #[test]
+    fn capped_warning_lists_offending_jobs() {
+        assert_eq!(capped_warning(&[]), None);
+        let labels = vec!["gzip ports=2".to_string(), "mcf ports=1".to_string()];
+        let w = capped_warning(&labels).expect("capped jobs warn");
+        assert!(w.contains("2 job(s)"), "{w}");
+        assert!(w.contains("capped: gzip ports=2"), "{w}");
+        assert!(w.contains("capped: mcf ports=1"), "{w}");
+        assert!(w.contains("truncated"), "{w}");
     }
 }

@@ -8,9 +8,15 @@
 
 use crate::engine::{self, Job};
 use lsq_core::LsqConfig;
-use lsq_obs::{NopTracer, Sampler, SharedTracer, TraceBuffer, TraceConfig, Tracer};
-use lsq_pipeline::{NopProfiler, Profiler, SimConfig, SimResult, Simulator, WallProfiler};
+use lsq_obs::{
+    CpiStackSampler, NopTracer, Sampler, SharedTracer, TraceBuffer, TraceConfig, Tracer,
+};
+use lsq_pipeline::{
+    CycleAccountant, NopAccountant, NopProfiler, Profiler, SimConfig, SimResult, Simulator,
+    SlotAccountant, WallProfiler,
+};
 use lsq_trace::BenchProfile;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Instruction budget for one run.
@@ -72,21 +78,67 @@ pub fn profile_enabled() -> bool {
              Some(v) if !v.trim().is_empty() && v.trim() != "0")
 }
 
+/// Whether `LSQ_ACCOUNTING` asks for cycle accounting (CPI stacks):
+/// any non-empty value except `0` enables it (see
+/// [`lsq_pipeline::accounting`]).
+pub fn accounting_enabled() -> bool {
+    matches!(std::env::var("LSQ_ACCOUNTING").ok().as_deref(),
+             Some(v) if !v.trim().is_empty() && v.trim() != "0")
+}
+
+/// Default window width (cycles) for `LSQ_ACCOUNTING_CSV` rows.
+const DEFAULT_ACCOUNTING_WINDOW: u64 = 10_000;
+
+/// Parses `LSQ_ACCOUNTING_CSV=<path>[:window]`: the destination for
+/// windowed CPI-stack CSV rows and the window width in cycles
+/// (default 10 000). Implies nothing unless `LSQ_ACCOUNTING` is also
+/// set — the sampler hangs off the accountant.
+fn accounting_csv_from_env() -> Option<(PathBuf, u64)> {
+    let raw = std::env::var("LSQ_ACCOUNTING_CSV").ok()?;
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return None;
+    }
+    if let Some((path, window)) = raw.rsplit_once(':') {
+        if let Ok(w) = window.parse::<u64>() {
+            if w > 0 && !path.is_empty() {
+                return Some((PathBuf::from(path), w));
+            }
+        }
+    }
+    Some((PathBuf::from(raw), DEFAULT_ACCOUNTING_WINDOW))
+}
+
+/// Parallel jobs write to distinct paths: job 0 gets the configured
+/// path verbatim, later ones a `.N` suffix (same convention as
+/// [`TraceConfig::for_job`]).
+fn numbered_path(path: &Path, n: u64) -> PathBuf {
+    if n == 0 {
+        path.to_path_buf()
+    } else {
+        PathBuf::from(format!("{}.{n}", path.display()))
+    }
+}
+
 /// The shared simulation core: warm up, snapshot, measure, difference —
-/// generic over the trace sink and the self-profiler so every
-/// (traced?, profiled?) combination monomorphizes to exactly the code
-/// it needs. The returned result carries the profiler's report (whole
-/// run, warm-up included — like `wall_nanos`, it is host-side timing
-/// and not windowed by the diff).
-fn simulate<T: Tracer + Clone, P: Profiler>(
+/// generic over the trace sink, the self-profiler, and the cycle
+/// accountant so every (traced?, profiled?, accounted?) combination
+/// monomorphizes to exactly the code it needs. The returned result
+/// carries the profiler's report (whole run, warm-up included — like
+/// `wall_nanos`, it is host-side timing and not windowed by the diff)
+/// and the warm-up-differenced CPI stack (a simulated quantity, so it
+/// *is* windowed by the diff).
+#[allow(clippy::too_many_arguments)]
+fn simulate_parts<T: Tracer + Clone, P: Profiler, A: CycleAccountant>(
     bench: &str,
     lsq: LsqConfig,
     scaled: bool,
     spec: RunSpec,
     tracer: T,
     profiler: P,
+    acct: A,
     sample_window: Option<u64>,
-) -> (SimResult, Option<Sampler>) {
+) -> (SimResult, Option<Sampler>, Option<CpiStackSampler>) {
     let profile = BenchProfile::named(bench).unwrap_or_else(|| panic!("unknown benchmark {bench}"));
     let cfg = if scaled {
         SimConfig::scaled(lsq)
@@ -94,7 +146,7 @@ fn simulate<T: Tracer + Clone, P: Profiler>(
         SimConfig::with_lsq(lsq)
     };
     let mut stream = profile.stream(spec.seed);
-    let mut sim = Simulator::with_parts(cfg, tracer, profiler);
+    let mut sim = Simulator::with_all(cfg, tracer, profiler, acct);
     if let Some(window) = sample_window {
         sim.set_sampler(Sampler::new(window));
     }
@@ -106,6 +158,63 @@ fn simulate<T: Tracer + Clone, P: Profiler>(
     let after = sim.run(&mut stream, spec.instrs);
     let result = diff_results(&before, &after);
     let sampler = sim.take_sampler();
+    let cpi_sampler = sim.take_cpi_sampler();
+    (result, sampler, cpi_sampler)
+}
+
+/// [`simulate_parts`] with the cycle accountant chosen by
+/// `LSQ_ACCOUNTING` / `LSQ_ACCOUNTING_CSV`: disabled runs use the
+/// zero-cost [`NopAccountant`]; accounted runs carry a
+/// [`SlotAccountant`] and, when a CSV path is configured, write the
+/// windowed per-component timeline on the way out.
+fn simulate<T: Tracer + Clone, P: Profiler>(
+    bench: &str,
+    lsq: LsqConfig,
+    scaled: bool,
+    spec: RunSpec,
+    tracer: T,
+    profiler: P,
+    sample_window: Option<u64>,
+) -> (SimResult, Option<Sampler>) {
+    if !accounting_enabled() {
+        let (result, sampler, _) = simulate_parts(
+            bench,
+            lsq,
+            scaled,
+            spec,
+            tracer,
+            profiler,
+            NopAccountant,
+            sample_window,
+        );
+        return (result, sampler);
+    }
+    let csv = accounting_csv_from_env();
+    let acct = match &csv {
+        Some((_, window)) => SlotAccountant::with_sampler(*window),
+        None => SlotAccountant::new(),
+    };
+    let (result, sampler, cpi_sampler) = simulate_parts(
+        bench,
+        lsq,
+        scaled,
+        spec,
+        tracer,
+        profiler,
+        acct,
+        sample_window,
+    );
+    if let (Some((path, _)), Some(cpi)) = (csv, cpi_sampler) {
+        static ACCT_CSV_JOBS: AtomicU64 = AtomicU64::new(0);
+        let path = numbered_path(&path, ACCT_CSV_JOBS.fetch_add(1, Ordering::Relaxed));
+        match std::fs::write(&path, cpi.to_csv()) {
+            Ok(()) => eprintln!("cpi-stack csv: {bench} -> {}", path.display()),
+            Err(e) => eprintln!(
+                "warning: could not write LSQ_ACCOUNTING_CSV={}: {e}",
+                path.display()
+            ),
+        }
+    }
     (result, sampler)
 }
 
@@ -125,7 +234,7 @@ pub(crate) fn run_design_point_uncached(
 ) -> SimResult {
     let profiled = profile_enabled();
     if let Some(trace) = TraceConfig::from_env() {
-        // Parallel jobs write to distinct paths: the first job gets the
+        // Parallel jobs write to distinct paths: job 0 gets the
         // configured path verbatim, later ones a `.N` suffix.
         static TRACED_JOBS: AtomicU64 = AtomicU64::new(0);
         let trace = trace.for_job(TRACED_JOBS.fetch_add(1, Ordering::Relaxed));
@@ -299,6 +408,14 @@ pub fn diff_results(before: &SimResult, after: &SimResult) -> SimResult {
         after.inflight_loads,
         after.cycles,
     );
+    // The CPI stack is cumulative and monotone, so the measured-window
+    // stack is a component-wise difference — the partition invariant
+    // carries over: diffed components sum to diffed cycles × width.
+    r.cpi_stack = match (&after.cpi_stack, &before.cpi_stack) {
+        (Some(a), Some(b)) => Some(a.minus(b)),
+        (Some(a), None) => Some(a.clone()),
+        _ => None,
+    };
     r
 }
 
@@ -479,6 +596,7 @@ mod tests {
             wall_nanos: 0,
             sim_mips: 0.0,
             profile: None,
+            cpi_stack: None,
         }
     }
 

@@ -12,7 +12,7 @@
 //! the cost is nil next to a simulation job.
 
 use lsq_obs::Json;
-use lsq_pipeline::{PhaseProfile, SimResult};
+use lsq_pipeline::{CpiStack, PhaseProfile, SimResult};
 use lsq_telemetry::{Counter, FloatGauge, Gauge, HistogramMetric, Metrics, MetricsServer};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -42,6 +42,7 @@ pub struct EngineTelemetry {
     trace_events_dropped: Arc<Counter>,
     workers: Mutex<Vec<WorkerView>>,
     profile: Mutex<Option<PhaseProfile>>,
+    stack: Mutex<Option<CpiStack>>,
 }
 
 /// The singleton registry every engine instance reports into.
@@ -89,6 +90,7 @@ impl EngineTelemetry {
             ),
             workers: Mutex::new(Vec::new()),
             profile: Mutex::new(None),
+            stack: Mutex::new(None),
             metrics: m,
         }
     }
@@ -180,6 +182,9 @@ impl EngineTelemetry {
         if let Some(profile) = &result.profile {
             self.merge_profile(profile);
         }
+        if let Some(stack) = &result.cpi_stack {
+            self.merge_stack(stack);
+        }
         let mut views = self.workers.lock().expect("worker views poisoned");
         if let Some(v) = views.get_mut(worker) {
             v.busy = false;
@@ -230,6 +235,32 @@ impl EngineTelemetry {
     /// profiled.
     pub fn aggregated_profile(&self) -> Option<PhaseProfile> {
         self.profile.lock().expect("profile poisoned").clone()
+    }
+
+    /// Folds one job's CPI stack into the process aggregate and the
+    /// per-component exposition counters.
+    fn merge_stack(&self, stack: &CpiStack) {
+        for stat in &stack.components {
+            self.metrics
+                .counter_with(
+                    "lsq_cpi_stack_cycles_total",
+                    "Cycle accounting: commit slots charged per CPI-stack \
+                     component (commit_width slots per simulated cycle).",
+                    &[("component", &stat.component)],
+                )
+                .add(stat.slots);
+        }
+        let mut agg = self.stack.lock().expect("cpi stack poisoned");
+        match agg.as_mut() {
+            Some(a) => a.merge(stack),
+            None => *agg = Some(stack.clone()),
+        }
+    }
+
+    /// The process-wide aggregated CPI stack, if any job ran with
+    /// cycle accounting.
+    pub fn aggregated_stack(&self) -> Option<CpiStack> {
+        self.stack.lock().expect("cpi stack poisoned").clone()
     }
 
     /// The `/jobs` snapshot.
@@ -283,6 +314,13 @@ impl EngineTelemetry {
                     None => Json::Null,
                 },
             ),
+            (
+                "cpi_stack",
+                match self.aggregated_stack() {
+                    Some(s) => s.to_json(),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 }
@@ -314,6 +352,7 @@ mod tests {
             "trace_events_dropped",
             "workers",
             "profile",
+            "cpi_stack",
         ] {
             assert!(snap.get(key).is_some(), "missing {key}");
         }

@@ -1,0 +1,238 @@
+//! The windowed CPI-stack sampler.
+//!
+//! The IPC sampler ([`crate::sample::Sampler`]) answers *how fast* each
+//! window ran; this one answers *where the commit slots went*. Called
+//! once per simulated cycle with the cumulative per-component slot
+//! counters of a cycle accountant, it folds them into fixed-width window
+//! rows of per-component deltas. Deltas are taken against the previous
+//! window's cumulative values starting from zero, so the rows partition
+//! the run exactly: summing any component over every row reproduces its
+//! final cumulative value, and summing a row across components gives
+//! `cycles × commit_width` for that window.
+//!
+//! The sampler is label-driven rather than tied to a component enum so
+//! this crate stays independent of the pipeline crate that defines the
+//! taxonomy: the accountant passes its component names once at
+//! construction and a matching slice of cumulative counters each cycle.
+
+/// One completed window of per-component commit-slot deltas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpiWindow {
+    /// First cycle observed in this window.
+    pub start_cycle: u64,
+    /// Last cycle observed in this window.
+    pub end_cycle: u64,
+    /// Cycles observed in this window.
+    pub cycles: u64,
+    /// Commit slots charged to each component during this window, in
+    /// the label order given to [`CpiStackSampler::new`].
+    pub slots: Vec<u64>,
+}
+
+/// Folds per-cycle cumulative component counters into fixed-width
+/// [`CpiWindow`]s.
+#[derive(Debug, Clone)]
+pub struct CpiStackSampler {
+    window: u64,
+    labels: Vec<&'static str>,
+    rows: Vec<CpiWindow>,
+    samples_in_window: u64,
+    win_start: u64,
+    win_end: u64,
+    /// Cumulative values at the end of the last flushed window.
+    base: Vec<u64>,
+    /// Latest cumulative values seen.
+    last: Vec<u64>,
+}
+
+impl CpiStackSampler {
+    /// A sampler with the given window width in cycles and component
+    /// labels (one per counter slot, in a fixed order).
+    ///
+    /// # Panics
+    /// If `window` is zero or `labels` is empty.
+    pub fn new(window: u64, labels: &[&'static str]) -> Self {
+        assert!(window > 0, "sampler window must be at least one cycle");
+        assert!(!labels.is_empty(), "sampler needs at least one component");
+        Self {
+            window,
+            labels: labels.to_vec(),
+            rows: Vec::new(),
+            samples_in_window: 0,
+            win_start: 0,
+            win_end: 0,
+            base: vec![0; labels.len()],
+            last: vec![0; labels.len()],
+        }
+    }
+
+    /// The configured window width.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// The component labels, in slot order.
+    pub fn labels(&self) -> &[&'static str] {
+        &self.labels
+    }
+
+    /// Records one cycle's cumulative per-component slot counters. Call
+    /// exactly once per simulated cycle with one value per label.
+    ///
+    /// # Panics
+    /// If `cumulative` does not have one value per label.
+    pub fn observe(&mut self, cycle: u64, cumulative: &[u64]) {
+        assert_eq!(
+            cumulative.len(),
+            self.labels.len(),
+            "one cumulative counter per component label"
+        );
+        if self.samples_in_window == 0 {
+            self.win_start = cycle;
+        }
+        self.win_end = cycle;
+        self.samples_in_window += 1;
+        self.last.copy_from_slice(cumulative);
+        if self.samples_in_window == self.window {
+            self.flush_window();
+        }
+    }
+
+    fn flush_window(&mut self) {
+        debug_assert!(self.samples_in_window > 0);
+        let slots: Vec<u64> = self
+            .last
+            .iter()
+            .zip(&self.base)
+            .map(|(l, b)| l - b)
+            .collect();
+        self.rows.push(CpiWindow {
+            start_cycle: self.win_start,
+            end_cycle: self.win_end,
+            cycles: self.samples_in_window,
+            slots,
+        });
+        self.base.copy_from_slice(&self.last);
+        self.samples_in_window = 0;
+    }
+
+    /// Emits the partial last window, if any cycles are pending. Call at
+    /// end of run so the rows cover every observed cycle.
+    pub fn flush(&mut self) {
+        if self.samples_in_window > 0 {
+            self.flush_window();
+        }
+    }
+
+    /// The completed windows, oldest first.
+    pub fn rows(&self) -> &[CpiWindow] {
+        &self.rows
+    }
+
+    /// The rows as CSV: `start_cycle,end_cycle,cycles,<label>,...` with
+    /// one column per component. Flush first to include the partial last
+    /// window.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("start_cycle,end_cycle,cycles");
+        for label in &self.labels {
+            out.push(',');
+            out.push_str(label);
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!("{},{},{}", r.start_cycle, r.end_cycle, r.cycles));
+            for s in &r.slots {
+                out.push_str(&format!(",{s}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LABELS: &[&str] = &["base", "frontend", "dep_chain"];
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_window_panics() {
+        let _ = CpiStackSampler::new(0, LABELS);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_labels_panic() {
+        let _ = CpiStackSampler::new(4, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one cumulative counter per component label")]
+    fn mismatched_counter_width_panics() {
+        let mut s = CpiStackSampler::new(4, LABELS);
+        s.observe(1, &[1, 2]);
+    }
+
+    #[test]
+    fn windows_carry_per_component_deltas() {
+        let mut s = CpiStackSampler::new(2, LABELS);
+        // Each cycle charges 8 slots split across the three components.
+        s.observe(1, &[5, 3, 0]);
+        s.observe(2, &[8, 6, 2]);
+        s.observe(3, &[16, 6, 2]);
+        s.flush();
+        assert_eq!(s.rows().len(), 2);
+        assert_eq!(s.rows()[0].slots, vec![8, 6, 2]);
+        assert_eq!((s.rows()[0].start_cycle, s.rows()[0].end_cycle), (1, 2));
+        assert_eq!(s.rows()[1].slots, vec![8, 0, 0]);
+        assert_eq!(s.rows()[1].cycles, 1);
+        // Flushing again is a no-op.
+        s.flush();
+        assert_eq!(s.rows().len(), 2);
+    }
+
+    #[test]
+    fn deltas_partition_the_run_exactly() {
+        // The tentpole invariant, windowed: summing each component over
+        // all rows reproduces its final cumulative value, so every
+        // commit slot appears in exactly one window.
+        let mut s = CpiStackSampler::new(7, LABELS);
+        let mut cum = [0u64; 3];
+        for cycle in 1..=23u64 {
+            cum[(cycle % 3) as usize] += 8;
+            s.observe(cycle, &cum);
+        }
+        s.flush();
+        let mut summed = [0u64; 3];
+        let mut cycles = 0u64;
+        for r in s.rows() {
+            cycles += r.cycles;
+            for (acc, s) in summed.iter_mut().zip(&r.slots) {
+                *acc += s;
+            }
+        }
+        assert_eq!(summed, cum);
+        assert_eq!(cycles, 23);
+        // Each window's slots sum to cycles × width (8 per cycle here).
+        for r in s.rows() {
+            assert_eq!(r.slots.iter().sum::<u64>(), r.cycles * 8);
+        }
+    }
+
+    #[test]
+    fn csv_has_component_columns() {
+        let mut s = CpiStackSampler::new(2, LABELS);
+        s.observe(1, &[4, 4, 0]);
+        s.observe(2, &[8, 8, 0]);
+        let csv = s.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "start_cycle,end_cycle,cycles,base,frontend,dep_chain"
+        );
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[1], "1,2,2,8,8,0");
+    }
+}

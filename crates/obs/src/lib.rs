@@ -34,6 +34,7 @@
 
 pub mod attrib;
 pub mod config;
+pub mod cpisample;
 pub mod event;
 pub mod json;
 pub mod registry;
@@ -42,6 +43,7 @@ pub mod tracer;
 
 pub use attrib::{PcAttribution, PcCounters};
 pub use config::{TraceConfig, TraceMode};
+pub use cpisample::{CpiStackSampler, CpiWindow};
 pub use event::{Event, MemOp, MissLevel, QueueSide, SquashCause, TimedEvent};
 pub use json::Json;
 pub use registry::{Metric, MetricValue, Registry, Section};

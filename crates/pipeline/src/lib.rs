@@ -20,12 +20,16 @@
 //! assert!(result.ipc() > 0.1);
 //! ```
 
+pub mod accounting;
 pub mod branch;
 pub mod config;
 pub mod profile;
 pub mod result;
 pub mod sim;
 
+pub use accounting::{
+    Component, ComponentStat, CpiStack, CycleAccountant, NopAccountant, SlotAccountant,
+};
 pub use branch::HybridPredictor;
 pub use config::SimConfig;
 pub use profile::{NopProfiler, Phase, PhaseProfile, PhaseStat, Profiler, WallProfiler};

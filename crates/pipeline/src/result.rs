@@ -1,5 +1,6 @@
 //! Results of a simulation run.
 
+use crate::accounting::CpiStack;
 use crate::profile::PhaseProfile;
 use lsq_core::LsqStats;
 
@@ -58,6 +59,10 @@ pub struct SimResult {
     /// profiled (see [`crate::profile`]). Host-side timing, not a
     /// simulated quantity — excluded from determinism comparisons.
     pub profile: Option<PhaseProfile>,
+    /// Per-component CPI stack, `None` unless the run was accounted
+    /// (see [`crate::accounting`]). Fully deterministic — the stack's
+    /// components sum exactly to `cycles × commit_width`.
+    pub cpi_stack: Option<CpiStack>,
 }
 
 impl SimResult {
@@ -209,6 +214,7 @@ mod tests {
             l2_miss_rate: 0.0,
             hit_cycle_cap: false,
             wall_nanos: 0,
+            cpi_stack: None,
             sim_mips: 0.0,
             profile: None,
         }

@@ -21,6 +21,7 @@
 //! simplification); store-to-load forwarding and violation detection use
 //! only hardware-visible state inside [`Lsq`].
 
+use crate::accounting::{Component, CycleAccountant, NopAccountant};
 use crate::branch::HybridPredictor;
 use crate::config::SimConfig;
 use crate::profile::{NopProfiler, Phase, Profiler};
@@ -28,7 +29,7 @@ use crate::result::SimResult;
 use lsq_core::{LoadIssue, Lsq, StoreDrain, StoreIssue};
 use lsq_isa::{Addr, InstrKind, Instruction, InstructionStream};
 use lsq_mem::MemoryHierarchy;
-use lsq_obs::{Event, NopTracer, SampleInput, Sampler, SquashCause, Tracer};
+use lsq_obs::{CpiStackSampler, Event, NopTracer, SampleInput, Sampler, SquashCause, Tracer};
 use lsq_stats::RunningMean;
 use lsq_util::rng::Xoshiro256;
 use lsq_util::{FastHashMap, RingQueue};
@@ -59,6 +60,30 @@ struct DynInst {
     /// Event scheduler: cycle by which every already-issued producer's
     /// result is available (meaningful while `pending_deps == 0`).
     ready_at: u64,
+    /// Cycle accounting: deepest hierarchy level this load's access
+    /// reached (0 = L1/forwarded, 1 = L2, 2 = memory). Only written
+    /// when an accountant is attached.
+    mem_level: u8,
+    /// Cycle accounting: extra cycles charged by a variable-latency
+    /// segmented forwarding search. Only written when an accountant is
+    /// attached.
+    seg_extra: u32,
+}
+
+/// Why fetch is stalled (cycle accounting only): distinguishes the
+/// cause behind `fetch_resume_at` so empty-ROB cycles are charged to
+/// the right component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum FetchStall {
+    /// No stall recorded (or the cause is a plain fetch limit).
+    #[default]
+    None,
+    /// Squash-and-refetch replay after a violation or invalidation.
+    Squash,
+    /// Branch-misprediction redirect.
+    Mispredict,
+    /// Instruction-cache miss.
+    IcacheMiss,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -81,13 +106,25 @@ struct Fetched {
 /// under monomorphization, while
 /// [`WallProfiler`](crate::profile::WallProfiler) accumulates per-phase
 /// wall time and invocation counts (see [`crate::profile`]).
+///
+/// The `A` parameter is the cycle accountant, following the same
+/// pattern again: the default [`NopAccountant`] makes every
+/// attribution site vanish under monomorphization, while
+/// [`SlotAccountant`](crate::accounting::SlotAccountant) classifies
+/// every commit slot of every cycle into a CPI-stack component (see
+/// [`crate::accounting`]).
 #[derive(Debug)]
-pub struct Simulator<T: Tracer = NopTracer, P: Profiler = NopProfiler> {
+pub struct Simulator<
+    T: Tracer = NopTracer,
+    P: Profiler = NopProfiler,
+    A: CycleAccountant = NopAccountant,
+> {
     cfg: SimConfig,
     lsq: Lsq<T>,
     mem: MemoryHierarchy<T>,
     tracer: T,
     profiler: P,
+    acct: A,
     sampler: Option<Sampler>,
     bp: HybridPredictor,
     rob: RingQueue<DynInst>,
@@ -139,6 +176,20 @@ pub struct Simulator<T: Tracer = NopTracer, P: Profiler = NopProfiler> {
     /// Deterministic source for coherence-invalidation injection.
     coherence_rng: Xoshiro256,
 
+    // Cycle-accounting scratch, written only when `acct` is enabled.
+    /// Committed count at the end of the previous accounted cycle.
+    acct_prev_committed: u64,
+    /// Resource stall recorded for the ROB head at issue this cycle
+    /// (seq kept to discard the record if a squash changed the head).
+    acct_head_stall: Option<(u64, Component)>,
+    /// Structural dispatch stall recorded this cycle.
+    acct_dispatch_stall: Option<Component>,
+    /// The ROB head load was blocked from retiring by an undrained
+    /// older store this cycle.
+    acct_drain_blocked: bool,
+    /// Cause behind the current `fetch_resume_at`.
+    acct_fetch_stall: FetchStall,
+
     committed: u64,
     loads_committed: u64,
     stores_committed: u64,
@@ -175,20 +226,34 @@ impl<T: Tracer + Clone> Simulator<T> {
 }
 
 impl<T: Tracer + Clone, P: Profiler> Simulator<T, P> {
-    /// Builds a simulator with both a trace sink and a self-profiler
-    /// (the fully general constructor behind [`Simulator::new`] and
+    /// Builds a simulator with a trace sink and a self-profiler but no
+    /// cycle accountant (the constructor behind [`Simulator::new`] and
     /// [`Simulator::with_tracer`]).
     ///
     /// # Panics
     ///
     /// Panics if the configuration fails [`SimConfig::validate`].
     pub fn with_parts(cfg: SimConfig, tracer: T, profiler: P) -> Self {
+        Self::with_all(cfg, tracer, profiler, NopAccountant)
+    }
+}
+
+impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
+    /// Builds a simulator with a trace sink, a self-profiler, and a
+    /// cycle accountant — the fully general constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SimConfig::validate`].
+    pub fn with_all(cfg: SimConfig, tracer: T, profiler: P, mut acct: A) -> Self {
         cfg.validate().expect("valid simulator configuration");
+        acct.init(cfg.commit_width as u64);
         Self {
             lsq: Lsq::with_tracer(cfg.lsq, tracer.clone()).expect("validated above"),
             mem: MemoryHierarchy::with_tracer(cfg.hierarchy, tracer.clone()),
             tracer,
             profiler,
+            acct,
             sampler: None,
             bp: HybridPredictor::new(),
             rob: RingQueue::new(cfg.rob_entries),
@@ -211,6 +276,11 @@ impl<T: Tracer + Clone, P: Profiler> Simulator<T, P> {
             dcache_used: 0,
             stream_done: false,
             coherence_rng: Xoshiro256::seed_from_u64(0xC0_4E_0E_1C),
+            acct_prev_committed: 0,
+            acct_head_stall: None,
+            acct_dispatch_stall: None,
+            acct_drain_blocked: false,
+            acct_fetch_stall: FetchStall::None,
             committed: 0,
             loads_committed: 0,
             stores_committed: 0,
@@ -257,6 +327,12 @@ impl<T: Tracer + Clone, P: Profiler> Simulator<T, P> {
         let mut s = self.sampler.take()?;
         s.flush();
         Some(s)
+    }
+
+    /// Detaches the cycle accountant's windowed CPI-stack sampler (if
+    /// one was attached), flushing its partial last window.
+    pub fn take_cpi_sampler(&mut self) -> Option<CpiStackSampler> {
+        self.acct.take_sampler()
     }
 
     /// Pre-warms the cache hierarchy with the workload's data and code
@@ -331,6 +407,118 @@ impl<T: Tracer + Clone, P: Profiler> Simulator<T, P> {
         self.timed(Phase::Dispatch, |s| s.dispatch());
         self.timed(Phase::Fetch, |s| s.fetch(stream));
         self.sample();
+        if self.acct.enabled() {
+            self.account_cycle();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cycle accounting
+    // ------------------------------------------------------------------
+
+    /// Classifies every commit slot of the cycle that just ended:
+    /// slots that retired an instruction are charged to
+    /// [`Component::Base`], the remaining slots to exactly one stall
+    /// component picked from the state of the ROB head (commit runs
+    /// first in [`Self::step`], so the head observed here is the one
+    /// commit failed to retire this cycle — the stall records taken by
+    /// issue and dispatch later in the same cycle refer to it).
+    fn account_cycle(&mut self) {
+        let n = self.committed - self.acct_prev_committed;
+        self.acct_prev_committed = self.committed;
+        // Consume the per-cycle stall records even on full-width cycles
+        // so nothing leaks into the next cycle's classification.
+        let head_stall = self.acct_head_stall.take();
+        let dispatch_stall = self.acct_dispatch_stall.take();
+        let drain_blocked = std::mem::take(&mut self.acct_drain_blocked);
+        let width = self.cfg.commit_width as u64;
+        debug_assert!(n <= width, "committed more than commit_width in one cycle");
+        if n > 0 {
+            self.acct.charge(Component::Base, n);
+        }
+        let stall = width - n;
+        if stall > 0 {
+            let c = self.classify_stall(head_stall, dispatch_stall, drain_blocked);
+            self.acct.charge(c, stall);
+        }
+        self.acct.end_cycle(self.cycle);
+    }
+
+    /// Picks the single stall component for this cycle's unused commit
+    /// slots. Precedence: the ROB head's own reason first (interval
+    /// analysis), then structural dispatch backpressure, then the
+    /// residual dependence-chain bucket.
+    fn classify_stall(
+        &self,
+        head_stall: Option<(u64, Component)>,
+        dispatch_stall: Option<Component>,
+        drain_blocked: bool,
+    ) -> Component {
+        let Some(seq) = self.rob.head_seq() else {
+            // Empty window: the front end owns the stall.
+            if self.pending_redirect.is_some() {
+                return Component::BranchRedirect;
+            }
+            if self.cycle < self.fetch_resume_at {
+                return match self.acct_fetch_stall {
+                    FetchStall::Squash => Component::SquashReplay,
+                    FetchStall::Mispredict => Component::BranchRedirect,
+                    FetchStall::IcacheMiss | FetchStall::None => Component::Frontend,
+                };
+            }
+            return Component::Frontend;
+        };
+        let e = self.rob.front().expect("head exists");
+        if e.state == State::Issued {
+            if drain_blocked
+                || (e.complete_at <= self.cycle && self.lsq.has_undrained_store_before(seq))
+            {
+                // The head load finished but may not retire past an
+                // undrained older store.
+                return Component::StoreDrain;
+            }
+            if e.complete_at > self.cycle {
+                return match e.instr.kind {
+                    InstrKind::Load => match e.mem_level {
+                        2 => Component::CacheMem,
+                        1 => Component::CacheL2,
+                        0 if e.seg_extra > 0 => Component::SegmentOverhead,
+                        _ => Component::ExecLatency,
+                    },
+                    k if k.is_branch()
+                        && (self.pending_redirect.is_some()
+                            || (self.acct_fetch_stall == FetchStall::Mispredict
+                                && self.cycle < self.fetch_resume_at)) =>
+                    {
+                        Component::BranchRedirect
+                    }
+                    _ => Component::ExecLatency,
+                };
+            }
+            // Head complete but the commit group stopped mid-width
+            // behind it (e.g. a younger blocked load): residual
+            // execution skew.
+            return Component::ExecLatency;
+        }
+        // Head still waiting in the issue queue. A resource stall
+        // recorded for it at issue time names the resource; otherwise
+        // structural dispatch backpressure, then the dependence chain.
+        if let Some((s, c)) = head_stall {
+            if s == seq {
+                return c;
+            }
+        }
+        dispatch_stall.unwrap_or(Component::DepChain)
+    }
+
+    /// Records a resource stall observed at issue time, kept only when
+    /// it concerns the current ROB head (the instruction whose stall
+    /// defines the cycle under head-based attribution).
+    #[inline]
+    fn record_head_stall(&mut self, seq: u64, c: Component) {
+        if self.acct.enabled() && self.rob.head_seq() == Some(seq) {
+            self.acct_head_stall = Some((seq, c));
+        }
     }
 
     fn sample(&mut self) {
@@ -432,6 +620,9 @@ impl<T: Tracer + Clone, P: Profiler> Simulator<T, P> {
                     // store: the drain's violation search must still see
                     // it in the load queue.
                     if self.lsq.has_undrained_store_before(seq) {
+                        if self.acct.enabled() {
+                            self.acct_drain_blocked = true;
+                        }
                         break;
                     }
                     self.lsq.commit_load(seq);
@@ -507,11 +698,13 @@ impl<T: Tracer + Clone, P: Profiler> Simulator<T, P> {
         let kind = e.instr.kind;
         let unit_left = if kind.is_fp() { fp_left } else { int_left };
         if *unit_left == 0 {
+            self.record_head_stall(seq, Component::ExecLatency);
             return false;
         }
         match kind {
             InstrKind::Load => {
                 if self.dcache_used >= self.cfg.dcache_ports {
+                    self.record_head_stall(seq, Component::DcachePort);
                     return false;
                 }
                 match self.timed(Phase::LsqSearch, |s| s.lsq.load_issue(seq)) {
@@ -528,6 +721,23 @@ impl<T: Tracer + Clone, P: Profiler> Simulator<T, P> {
                         } else {
                             self.mem.data_access(e.instr.addr, false)
                         };
+                        // Cycle accounting: infer the deepest level the
+                        // access reached from its additive latency.
+                        let mem_level = if self.acct.enabled() {
+                            let h = &self.cfg.hierarchy;
+                            if li.forwarded_from.is_some() {
+                                0
+                            } else if lat >= h.l1d.hit_latency + h.l2.hit_latency + h.mem_latency {
+                                2
+                            } else if lat >= h.l1d.hit_latency + h.l2.hit_latency {
+                                1
+                            } else {
+                                0
+                            }
+                        } else {
+                            0
+                        };
+                        let acct_enabled = self.acct.enabled();
                         let entry = self.rob.get_mut(seq).expect("resident");
                         entry.state = State::Issued;
                         entry.complete_at =
@@ -537,11 +747,24 @@ impl<T: Tracer + Clone, P: Profiler> Simulator<T, P> {
                         } else {
                             self.cfg.late_wakeup_penalty
                         };
+                        if acct_enabled {
+                            entry.mem_level = mem_level;
+                            entry.seg_extra = li.extra_cycles;
+                        }
                         self.dcache_used += 1;
                         *unit_left -= 1;
                         true
                     }
-                    _stall => false,
+                    stall => {
+                        if self.acct.enabled() {
+                            let c = match stall {
+                                LoadIssue::NoSqPort | LoadIssue::NoLqPort => Component::SearchPort,
+                                _ => Component::MemOrdering,
+                            };
+                            self.record_head_stall(seq, c);
+                        }
+                        false
+                    }
                 }
             }
             InstrKind::Store => match self.timed(Phase::LsqSearch, |s| s.lsq.store_issue(seq)) {
@@ -555,7 +778,10 @@ impl<T: Tracer + Clone, P: Profiler> Simulator<T, P> {
                     }
                     true
                 }
-                StoreIssue::NoLqPort => false,
+                StoreIssue::NoLqPort => {
+                    self.record_head_stall(seq, Component::SearchPort);
+                    false
+                }
             },
             _ => {
                 let entry = self.rob.get_mut(seq).expect("resident");
@@ -569,6 +795,9 @@ impl<T: Tracer + Clone, P: Profiler> Simulator<T, P> {
                     self.pending_redirect = None;
                     self.fetch_resume_at = complete_at + self.cfg.mispredict_penalty;
                     self.cur_fetch_block = None;
+                    if self.acct.enabled() {
+                        self.acct_fetch_stall = FetchStall::Mispredict;
+                    }
                 }
                 true
             }
@@ -778,12 +1007,31 @@ impl<T: Tracer + Clone, P: Profiler> Simulator<T, P> {
             if f.avail_at > self.cycle {
                 break;
             }
-            if self.rob.is_full() || self.iq_len >= self.cfg.iq_entries {
+            if self.rob.is_full() {
+                if self.acct.enabled() {
+                    self.acct_dispatch_stall = Some(Component::RobFull);
+                }
+                break;
+            }
+            if self.iq_len >= self.cfg.iq_entries {
+                if self.acct.enabled() {
+                    self.acct_dispatch_stall = Some(Component::IqFull);
+                }
                 break;
             }
             match f.instr.kind {
-                InstrKind::Load if !self.lsq.can_dispatch_load() => break,
-                InstrKind::Store if !self.lsq.can_dispatch_store() => break,
+                InstrKind::Load if !self.lsq.can_dispatch_load() => {
+                    if self.acct.enabled() {
+                        self.acct_dispatch_stall = Some(Component::LqFull);
+                    }
+                    break;
+                }
+                InstrKind::Store if !self.lsq.can_dispatch_store() => {
+                    if self.acct.enabled() {
+                        self.acct_dispatch_stall = Some(Component::SqFull);
+                    }
+                    break;
+                }
                 _ => {}
             }
             self.frontend.pop_front();
@@ -803,6 +1051,8 @@ impl<T: Tracer + Clone, P: Profiler> Simulator<T, P> {
                     wakeup_extra: 0,
                     pending_deps: 0,
                     ready_at: 0,
+                    mem_level: 0,
+                    seg_extra: 0,
                 })
                 .expect("checked not full");
             debug_assert_eq!(seq, f.gseq);
@@ -863,6 +1113,9 @@ impl<T: Tracer + Clone, P: Profiler> Simulator<T, P> {
                 let extra = lat.saturating_sub(i_hit);
                 if extra > 0 {
                     self.fetch_resume_at = self.cycle + u64::from(extra);
+                    if self.acct.enabled() {
+                        self.acct_fetch_stall = FetchStall::IcacheMiss;
+                    }
                     break; // the instruction is fetched after the miss
                 }
             }
@@ -957,6 +1210,14 @@ impl<T: Tracer + Clone, P: Profiler> Simulator<T, P> {
         self.next_fetch = victim;
         self.fetch_resume_at = self.cycle + penalty;
         self.cur_fetch_block = None;
+        if self.acct.enabled() {
+            self.acct_fetch_stall = FetchStall::Squash;
+            // A stall recorded for a now-squashed head must not leak
+            // into this cycle's classification.
+            if self.acct_head_stall.is_some_and(|(s, _)| s >= victim) {
+                self.acct_head_stall = None;
+            }
+        }
         if self.pending_redirect.is_some_and(|b| b >= victim) {
             self.pending_redirect = None;
         }
@@ -967,6 +1228,16 @@ impl<T: Tracer + Clone, P: Profiler> Simulator<T, P> {
     // ------------------------------------------------------------------
 
     fn result(&self, hit_cycle_cap: bool) -> SimResult {
+        let cpi_stack = self.acct.report();
+        if let Some(stack) = &cpi_stack {
+            // The tentpole invariant: every commit slot of every cycle
+            // was charged to exactly one component.
+            debug_assert_eq!(
+                stack.total_slots(),
+                self.cycle * self.cfg.commit_width as u64,
+                "CPI-stack components must sum exactly to cycles × commit_width"
+            );
+        }
         SimResult {
             cycles: self.cycle,
             committed: self.committed,
@@ -987,6 +1258,7 @@ impl<T: Tracer + Clone, P: Profiler> Simulator<T, P> {
             wall_nanos: 0,
             sim_mips: 0.0,
             profile: self.profiler.report(),
+            cpi_stack,
             hit_cycle_cap,
         }
     }
@@ -1352,6 +1624,52 @@ mod tests {
             r.lsq.load_load_violations > 0,
             "OoO same-word loads must trap"
         );
+    }
+
+    #[test]
+    fn accounted_run_partitions_every_commit_slot() {
+        use crate::accounting::SlotAccountant;
+        // A mixed workload exercising loads, branches, and dep chains.
+        let mut instrs = Vec::new();
+        for i in 0..3000u64 {
+            let pc = 0x1000 + (i % 64) * 8;
+            if i % 7 == 3 {
+                instrs.push(
+                    Instruction::load(Pc(pc), Addr(0x4000 + (i % 128) * 8))
+                        .with_dst(ArchReg::int(1)),
+                );
+            } else if i % 11 == 5 {
+                instrs.push(Instruction::branch(Pc(pc), i % 2 == 0));
+            } else {
+                instrs.push(
+                    Instruction::op(Pc(pc), InstrKind::IntAlu)
+                        .with_dst(ArchReg::int(2))
+                        .with_src(ArchReg::int(1)),
+                );
+            }
+        }
+        let n = instrs.len() as u64;
+        let mut stream = VecStream::new(instrs);
+        let mut sim = Simulator::with_all(
+            SimConfig::default(),
+            NopTracer,
+            NopProfiler,
+            SlotAccountant::new(),
+        );
+        let r = sim.run(&mut stream, n);
+        let stack = r.cpi_stack.expect("accounted run reports a stack");
+        // The partition invariant, and its corollary: base slots are
+        // exactly the committed instructions.
+        assert_eq!(stack.total_slots(), r.cycles * 8);
+        assert_eq!(stack.slots("base"), r.committed);
+        assert_eq!(stack.cycles(), r.cycles);
+    }
+
+    #[test]
+    fn accounting_off_reports_no_stack() {
+        let instrs: Vec<Instruction> = (0..100).map(|i| alu(0x1000 + i * 4)).collect();
+        let r = run_instrs(SimConfig::default(), instrs);
+        assert!(r.cpi_stack.is_none());
     }
 
     #[test]

@@ -15,7 +15,8 @@
 
 use lsq::core::{LsqConfig, PredictorKind, SegAlloc};
 use lsq::experiments::runner::diff_results;
-use lsq::pipeline::{SimConfig, SimResult, Simulator};
+use lsq::obs::NopTracer;
+use lsq::pipeline::{NopProfiler, SimConfig, SimResult, Simulator, SlotAccountant};
 use lsq::trace::BenchProfile;
 
 const WARMUP: u64 = 3_000;
@@ -27,6 +28,27 @@ fn run(bench: &str, lsq_cfg: LsqConfig, polling: bool) -> SimResult {
     let profile = BenchProfile::named(bench).expect("known benchmark");
     let mut stream = profile.stream(1);
     let mut sim = Simulator::new(SimConfig::with_lsq(lsq_cfg));
+    if polling {
+        sim.set_reference_scheduler();
+    }
+    sim.prewarm(&stream.data_regions(), stream.code_region());
+    let _ = sim.run(&mut stream, WARMUP);
+    let before = sim.run(&mut stream, 0);
+    let after = sim.run(&mut stream, INSTRS);
+    diff_results(&before, &after)
+}
+
+/// Like [`run`], but with the cycle accountant attached, so the
+/// differenced result carries a CPI stack for the measured window.
+fn run_accounted(bench: &str, lsq_cfg: LsqConfig, polling: bool) -> SimResult {
+    let profile = BenchProfile::named(bench).expect("known benchmark");
+    let mut stream = profile.stream(1);
+    let mut sim = Simulator::with_all(
+        SimConfig::with_lsq(lsq_cfg),
+        NopTracer,
+        NopProfiler,
+        SlotAccountant::new(),
+    );
     if polling {
         sim.set_reference_scheduler();
     }
@@ -66,6 +88,60 @@ fn assert_equivalent(bench: &str) {
             "{bench}/{label}: event scheduler diverged from polling reference"
         );
         assert!(event.committed >= INSTRS, "{bench}/{label}: run too short");
+    }
+}
+
+/// Cycle accounting is pure observability: attaching the accountant
+/// must leave every architectural counter bit-identical, and the stack
+/// it emits must partition the measured window exactly — components
+/// sum to `cycles × commit_width`, with the base component equal to the
+/// committed-instruction count. Checked across all four design points
+/// (and two benchmarks, one cache-bound) so every stall-classification
+/// path is exercised.
+#[test]
+fn accounting_is_invisible_and_partitions_every_slot() {
+    for bench in ["gzip", "mcf"] {
+        for (label, cfg) in design_points() {
+            let plain = run(bench, cfg, false);
+            let mut accounted = run_accounted(bench, cfg, false);
+            let stack = accounted
+                .cpi_stack
+                .take()
+                .expect("accounted run reports a CPI stack");
+            assert_eq!(
+                format!("{plain:?}"),
+                format!("{accounted:?}"),
+                "{bench}/{label}: accounting perturbed the simulation"
+            );
+            assert_eq!(
+                stack.total_slots(),
+                accounted.cycles * stack.commit_width,
+                "{bench}/{label}: stack does not partition the window"
+            );
+            assert_eq!(
+                stack.slots("base"),
+                accounted.committed,
+                "{bench}/{label}: base slots must equal committed instructions"
+            );
+        }
+    }
+}
+
+/// The CPI stack is part of the architectural state the two schedulers
+/// must agree on: an accounted event-driven run and an accounted
+/// polling run must produce bit-identical stacks (the stack is in the
+/// `SimResult` Debug rendering, so full-result equality covers it).
+#[test]
+fn accounted_schedulers_agree() {
+    for (label, cfg) in design_points() {
+        let event = run_accounted("gzip", cfg, false);
+        let polling = run_accounted("gzip", cfg, true);
+        assert!(event.cpi_stack.is_some(), "gzip/{label}: stack missing");
+        assert_eq!(
+            format!("{event:?}"),
+            format!("{polling:?}"),
+            "gzip/{label}: accounted schedulers diverged"
+        );
     }
 }
 
