@@ -105,6 +105,7 @@ impl LoadBuffer {
     /// # Panics
     ///
     /// Panics (debug) if `seq` is not younger than every tracked load.
+    // lsq-lint: hot
     pub fn on_dispatch(&mut self, seq: u64, addr: Addr) {
         debug_assert!(self.loads.back().is_none_or(|l| l.seq < seq));
         self.loads.push_back(TrackedLoad {
@@ -117,6 +118,7 @@ impl LoadBuffer {
 
     /// Oldest *buffered* load younger than `seq` reading the same word —
     /// the load-load ordering violation the buffer search detects.
+    // lsq-lint: hot
     fn violation_victim(&self, seq: u64, addr: Addr) -> Option<u64> {
         if self.buffered == 0 {
             return None;
@@ -132,6 +134,7 @@ impl LoadBuffer {
         self.loads.get(self.nilp_idx).map(|l| l.seq)
     }
 
+    // lsq-lint: hot
     fn index_of(&self, seq: u64) -> Option<usize> {
         self.loads.binary_search_by_key(&seq, |l| l.seq).ok()
     }
@@ -141,10 +144,13 @@ impl LoadBuffer {
     /// # Panics
     ///
     /// Panics if `seq` was never dispatched or has already issued.
+    // lsq-lint: hot
     pub fn try_issue(&mut self, seq: u64) -> LbIssue {
+        // lsq-lint: allow(no-unwrap-in-lib, reason = "loads are registered at dispatch; a missing entry is pipeline bookkeeping corruption — fail loudly rather than skew results")
         let idx = self.index_of(seq).expect("load was dispatched");
         assert!(!self.loads[idx].issued, "load already issued");
 
+        // lsq-lint: allow(no-unwrap-in-lib, reason = "try_issue's caller established an unissued load exists, so the NILP scan finds one")
         let nilp = self.nilp().expect("an unissued load exists");
         let addr = self.loads[idx].addr;
         if nilp == seq {
@@ -191,6 +197,7 @@ impl LoadBuffer {
     ///
     /// Panics if `seq` is not the oldest tracked load.
     pub fn on_commit(&mut self, seq: u64) {
+        // lsq-lint: allow(no-unwrap-in-lib, reason = "in-order commit retires only loads the buffer tracked at dispatch")
         let front = self.loads.pop_front().expect("commit of untracked load");
         assert_eq!(front.seq, seq, "loads commit in program order");
         if front.buffered {

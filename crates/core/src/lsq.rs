@@ -224,6 +224,7 @@ impl<T: Tracer> Lsq<T> {
 
     /// Advances port bookkeeping to the next cycle. Call exactly once per
     /// simulated cycle, before any issue/commit calls for that cycle.
+    // lsq-lint: hot
     pub fn begin_cycle(&mut self) {
         self.lq_ports.begin_cycle();
         self.sq_ports.begin_cycle();
@@ -253,6 +254,7 @@ impl<T: Tracer> Lsq<T> {
     /// resident load.
     pub fn dispatch_load(&mut self, seq: u64, pc: Pc, addr: Addr) {
         assert!(self.lq.back().is_none_or(|e| e.seq < seq), "program order");
+        // lsq-lint: allow(no-unwrap-in-lib, reason = "dispatch is gated on lq_free() by the pipeline; overflow here is a dispatch-stage bug")
         let place = self.lq_alloc.allocate().expect("load queue full");
         let pred = self.pred.on_load_fetch(pc);
         self.lq.push_back(LqEntry {
@@ -288,6 +290,7 @@ impl<T: Tracer> Lsq<T> {
     /// resident store.
     pub fn dispatch_store(&mut self, seq: u64, pc: Pc, addr: Addr) {
         assert!(self.sq.back().is_none_or(|e| e.seq < seq), "program order");
+        // lsq-lint: allow(no-unwrap-in-lib, reason = "dispatch is gated on sq_free() by the pipeline; overflow here is a dispatch-stage bug")
         let place = self.sq_alloc.allocate().expect("store queue full");
         let ssid = self.pred.on_store_fetch(pc, seq);
         self.sq.push_back(SqEntry {
@@ -314,16 +317,19 @@ impl<T: Tracer> Lsq<T> {
     // Issue
     // ------------------------------------------------------------------
 
+    // lsq-lint: hot
     fn lq_index(&self, seq: u64) -> Option<usize> {
         self.lq.binary_search_by_key(&seq, |e| e.seq).ok()
     }
 
+    // lsq-lint: hot
     fn sq_index(&self, seq: u64) -> Option<usize> {
         self.sq.binary_search_by_key(&seq, |e| e.seq).ok()
     }
 
     /// Youngest issued older store writing the same word, if any — the
     /// store-to-load forwarding source.
+    // lsq-lint: hot
     fn forwarding_source(&self, load_seq: u64, addr: Addr) -> Option<u64> {
         self.sq
             .iter()
@@ -335,6 +341,7 @@ impl<T: Tracer> Lsq<T> {
 
     /// Whether the oracle sees any older in-flight store to the same word
     /// (the perfect predictor's decision).
+    // lsq-lint: hot
     fn oracle_dependent(&self, load_seq: u64, addr: Addr) -> bool {
         self.sq
             .iter()
@@ -349,6 +356,7 @@ impl<T: Tracer> Lsq<T> {
     /// The path lands in a reusable scratch buffer so issuing never
     /// allocates; an unsegmented queue's path is always `[0]`, so the
     /// queue walk is skipped entirely there.
+    // lsq-lint: hot
     fn compute_sq_search_path(&mut self, load_seq: u64, addr: Addr) {
         self.sq_path_buf.clear();
         if self.cfg.segmentation.is_none() {
@@ -375,6 +383,7 @@ impl<T: Tracer> Lsq<T> {
     /// violation search over loads younger than the store — distinct
     /// segments oldest-first, stopping at the segment containing the
     /// oldest violating load — and returns that victim, if any.
+    // lsq-lint: hot
     fn compute_lq_violation_scan(&mut self, store_seq: u64, addr: Addr) -> Option<u64> {
         let premature = |l: &&LqEntry| {
             l.issued && l.addr.same_word(addr) && l.forwarded_from.is_none_or(|f| f < store_seq)
@@ -410,6 +419,7 @@ impl<T: Tracer> Lsq<T> {
     /// ordering search over loads younger than the load (no victim in a
     /// uniprocessor run: the search is pure bandwidth, which is exactly
     /// what the paper measures).
+    // lsq-lint: hot
     fn compute_lq_loadload_path(&mut self, load_seq: u64) {
         self.lq_path_buf.clear();
         if self.cfg.segmentation.is_none() {
@@ -437,7 +447,9 @@ impl<T: Tracer> Lsq<T> {
     /// # Panics
     ///
     /// Panics if `seq` was never dispatched or already issued.
+    // lsq-lint: hot
     pub fn load_issue(&mut self, seq: u64) -> LoadIssue {
+        // lsq-lint: allow(no-unwrap-in-lib, reason = "load_issue's documented # Panics contract: seq must be a dispatched, unretired load")
         let idx = self.lq_index(seq).expect("load is in the load queue");
         assert!(!self.lq[idx].issued, "load already issued");
         let addr = self.lq[idx].addr;
@@ -566,6 +578,7 @@ impl<T: Tracer> Lsq<T> {
                         PredictorKind::Aggressive | PredictorKind::Pair
                     ) {
                         let store_pc =
+                            // lsq-lint: allow(no-unwrap-in-lib, reason = "the SQ search just above returned this store, so it is resident")
                             self.sq[self.sq_index(store_seq).expect("store resident")].pc;
                         let load_pc = self.lq[idx].pc;
                         self.pred.train_pair(load_pc, store_pc);
@@ -642,7 +655,9 @@ impl<T: Tracer> Lsq<T> {
     /// # Panics
     ///
     /// Panics if `seq` was never dispatched or already executed.
+    // lsq-lint: hot
     pub fn store_issue(&mut self, seq: u64) -> StoreIssue {
+        // lsq-lint: allow(no-unwrap-in-lib, reason = "store_issue's documented # Panics contract: seq must be a dispatched, unretired store")
         let idx = self.sq_index(seq).expect("store is in the store queue");
         assert!(!self.sq[idx].issued, "store already executed");
         let addr = self.sq[idx].addr;
@@ -696,6 +711,7 @@ impl<T: Tracer> Lsq<T> {
         if at_commit {
             self.stats.commit_violations += 1;
         }
+        // lsq-lint: allow(no-unwrap-in-lib, reason = "the LQ violation scan just above returned this victim, so it is resident")
         let load_pc = self.lq[self.lq_index(victim).expect("victim resident")].pc;
         self.pred.train_pair(load_pc, store_pc);
         if self.tracer.enabled() {
@@ -718,6 +734,7 @@ impl<T: Tracer> Lsq<T> {
     ///
     /// Panics if `seq` is not the oldest resident load.
     pub fn commit_load(&mut self, seq: u64) {
+        // lsq-lint: allow(no-unwrap-in-lib, reason = "in-order commit retires only loads the LQ tracked at dispatch")
         let front = self.lq.pop_front().expect("commit of empty load queue");
         assert_eq!(front.seq, seq, "loads retire in program order");
         assert!(front.issued, "committing an unissued load");
@@ -736,6 +753,7 @@ impl<T: Tracer> Lsq<T> {
     /// Panics if `seq` is not resident, has not executed, or an older
     /// unretired store exists (retirement is in program order).
     pub fn store_retire(&mut self, seq: u64) {
+        // lsq-lint: allow(no-unwrap-in-lib, reason = "stores retire in program order after dispatch; a miss here is a pipeline bug")
         let idx = self.sq_index(seq).expect("store resident at retirement");
         assert!(self.sq[idx].issued, "retiring an unexecuted store");
         assert!(
@@ -748,6 +766,7 @@ impl<T: Tracer> Lsq<T> {
     /// Whether any retired-but-undrained store older than `seq` exists.
     /// Loads must not retire past one: the commit-time violation search
     /// must still find them in the load queue.
+    // lsq-lint: hot
     pub fn has_undrained_store_before(&self, seq: u64) -> bool {
         self.sq.front().is_some_and(|s| s.retired && s.seq < seq)
     }
@@ -756,6 +775,7 @@ impl<T: Tracer> Lsq<T> {
     /// violation search (pair/aggressive schemes) plus freeing the entry.
     /// The caller performs the cache write of the returned address and
     /// charges the d-cache port.
+    // lsq-lint: hot
     pub fn drain_store(&mut self) -> StoreDrain {
         let Some(front) = self.sq.front().copied() else {
             return StoreDrain::Idle;
@@ -803,6 +823,7 @@ impl<T: Tracer> Lsq<T> {
     /// Address of the `n`-th (mod count) currently issued in-flight
     /// load, if any — used by coherence-traffic injectors to target words
     /// another processor would plausibly write (shared data being read).
+    // lsq-lint: hot
     pub fn nth_issued_load_addr(&self, n: usize) -> Option<Addr> {
         let count = self.lq.iter().filter(|l| l.issued).count();
         if count == 0 {
@@ -847,6 +868,7 @@ impl<T: Tracer> Lsq<T> {
             if back.seq < seq {
                 break;
             }
+            // lsq-lint: allow(no-unwrap-in-lib, reason = "squash pops from the tail only while entries remain younger than the victim")
             let e = self.lq.pop_back().expect("non-empty");
             self.lq_alloc.free(e.place);
             oldest_lq = Some(e.place);
@@ -859,6 +881,7 @@ impl<T: Tracer> Lsq<T> {
             if back.seq < seq {
                 break;
             }
+            // lsq-lint: allow(no-unwrap-in-lib, reason = "squash pops from the tail only while entries remain younger than the victim")
             let e = self.sq.pop_back().expect("non-empty");
             self.sq_alloc.free(e.place);
             oldest_sq = Some(e.place);
@@ -925,6 +948,7 @@ impl<T: Tracer> Lsq<T> {
 /// path. A free function (not a method) so callers can borrow the path
 /// out of the `Lsq` scratch buffers; a no-op unless the tracer is
 /// enabled, so untraced builds pay nothing for path emission.
+// lsq-lint: hot
 fn emit_seg_path<T: Tracer>(tracer: &mut T, queue: QueueSide, path: &[usize]) {
     if !tracer.enabled() {
         return;

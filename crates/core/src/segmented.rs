@@ -206,6 +206,7 @@ impl PortBook {
     /// recycled as the new one, so this runs every simulated cycle without
     /// allocating.
     pub fn begin_cycle(&mut self) {
+        // lsq-lint: allow(no-unwrap-in-lib, reason = "the sliding window always holds at least the current segment row")
         let mut row = self.window.pop_front().expect("window is never empty");
         row.fill(0);
         self.window.push_back(row);

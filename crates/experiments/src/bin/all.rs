@@ -15,7 +15,7 @@ fn main() {
         out.push('\n');
     }
     print!("{out}");
-    if let Ok(path) = std::env::var("LSQ_EXPERIMENTS_OUT") {
+    if let Some(path) = lsq_util::knobs::get("LSQ_EXPERIMENTS_OUT") {
         let mut f = std::fs::File::create(&path).expect("create output file");
         f.write_all(out.as_bytes()).expect("write output file");
         eprintln!("wrote {path}");

@@ -46,7 +46,7 @@ fn main() {
     let ring = trace.clone().unwrap_or_else(|| {
         TraceConfig::parse(
             "diag-unwritten",
-            std::env::var("LSQ_SAMPLE_CYCLES").ok().as_deref(),
+            lsq_util::knobs::get("LSQ_SAMPLE_CYCLES").as_deref(),
         )
     });
     let (r, buf, sampler) = run_traced(&bench, LsqConfig::default(), false, spec, &ring);

@@ -47,10 +47,11 @@ use crate::telemetry;
 use lsq_core::LsqConfig;
 use lsq_obs::Json;
 use lsq_pipeline::{CpiStack, PhaseProfile, SimConfig, SimResult};
+use lsq_util::sync::MutexExt;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{IsTerminal, Write};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
 /// One unit of work: a benchmark run through one design point.
@@ -221,7 +222,9 @@ impl Engine {
     /// `(cache hits, unique simulations)` served so far.
     pub fn stats(&self) -> (u64, u64) {
         (
+            // lsq-lint: allow(relaxed-ordering-audit, reason = "stats snapshot read after run_batch returns; joins ordered the writes")
             self.hits.load(Ordering::Relaxed),
+            // lsq-lint: allow(relaxed-ordering-audit, reason = "stats snapshot read after run_batch returns; joins ordered the writes")
             self.misses.load(Ordering::Relaxed),
         )
     }
@@ -245,7 +248,7 @@ impl Engine {
         // Unique uncached keys, in first-appearance order (deterministic).
         let mut pending: Vec<(JobKey, Job)> = Vec::new();
         {
-            let cache = self.cache.lock().expect("engine cache poisoned");
+            let cache = self.cache.lock_unpoisoned();
             for (job, key) in jobs.iter().zip(&keys) {
                 if !cache.contains_key(key) && !pending.iter().any(|(k, _)| k == key) {
                     pending.push((key.clone(), *job));
@@ -298,13 +301,13 @@ impl Engine {
         }
 
         {
-            let mut cache = self.cache.lock().expect("engine cache poisoned");
+            let mut cache = self.cache.lock_unpoisoned();
             for ((key, _), result) in pending.iter().zip(fresh) {
                 cache.insert(key.clone(), result);
             }
         }
 
-        let cache = self.cache.lock().expect("engine cache poisoned");
+        let cache = self.cache.lock_unpoisoned();
         let results: Vec<SimResult> = keys.iter().map(|k| cache[k].clone()).collect();
         drop(cache);
 
@@ -318,13 +321,15 @@ impl Engine {
             .map(|k| !(ran.contains(k) && first_seen.insert(k)))
             .collect();
         let batch_hits = cached_flags.iter().filter(|&&c| c).count() as u64;
+        // lsq-lint: allow(relaxed-ordering-audit, reason = "monotonic tally; read only via stats() snapshots")
         self.hits.fetch_add(batch_hits, Ordering::Relaxed);
         self.misses
+            // lsq-lint: allow(relaxed-ordering-audit, reason = "monotonic tally; read only via stats() snapshots")
             .fetch_add(pending.len() as u64, Ordering::Relaxed);
         telemetry::global().cache_counted(batch_hits, pending.len() as u64);
 
         {
-            let mut records = self.records.lock().expect("engine records poisoned");
+            let mut records = self.records.lock_unpoisoned();
             for ((job, &cached), result) in jobs.iter().zip(&cached_flags).zip(&results) {
                 records.push(JobRecord::from_result(*job, cached, result));
             }
@@ -341,7 +346,7 @@ impl Engine {
         if let Some(warning) = capped_warning(&capped_labels) {
             eprintln!("{warning}");
         }
-        if let Ok(path) = std::env::var("LSQ_EXPERIMENTS_JSON") {
+        if let Some(path) = lsq_util::knobs::get("LSQ_EXPERIMENTS_JSON") {
             self.dump_json(&path);
         }
         results
@@ -362,10 +367,7 @@ impl Engine {
         let deques: Vec<Mutex<VecDeque<usize>>> =
             (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
         for (i, _) in pending.iter().enumerate() {
-            deques[i % workers]
-                .lock()
-                .expect("deque poisoned")
-                .push_back(i);
+            deques[i % workers].lock_unpoisoned().push_back(i);
         }
         let results: Vec<Mutex<Option<SimResult>>> = (0..total).map(|_| Mutex::new(None)).collect();
         let done = AtomicUsize::new(0);
@@ -381,10 +383,10 @@ impl Engine {
                 let done = &done;
                 scope.spawn(move || loop {
                     let mut stolen = false;
-                    let mut claimed = deques[w].lock().expect("deque poisoned").pop_front();
+                    let mut claimed = deques[w].lock_unpoisoned().pop_front();
                     if claimed.is_none() {
                         for (o, other) in deques.iter().enumerate() {
-                            claimed = other.lock().expect("deque poisoned").pop_back();
+                            claimed = other.lock_unpoisoned().pop_back();
                             if claimed.is_some() {
                                 stolen = o != w;
                                 break;
@@ -403,7 +405,8 @@ impl Engine {
                     let simulated = (job.spec.warmup + r.committed) as f64;
                     r.sim_mips = simulated / wall.as_secs_f64().max(1e-12) / 1e6;
                     tel.job_finished(w, &r, job.spec.warmup);
-                    *results[idx].lock().expect("result slot poisoned") = Some(r);
+                    *results[idx].lock_unpoisoned() = Some(r);
+                    // lsq-lint: allow(relaxed-ordering-audit, reason = "progress tally; result hand-off is ordered by the per-slot mutex")
                     let n = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if progress {
                         report_progress(n, total, started);
@@ -417,9 +420,9 @@ impl Engine {
         results
             .into_iter()
             .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every job runs")
+                let r = slot.into_inner().unwrap_or_else(PoisonError::into_inner);
+                // lsq-lint: allow(no-unwrap-in-lib, reason = "thread::scope joined every worker (propagating any panic), so each slot is filled")
+                r.expect("every job runs")
             })
             .collect()
     }
@@ -429,7 +432,7 @@ impl Engine {
     /// reported on stderr, not fatal — a bad dump path must not kill an
     /// hour of simulation.
     fn dump_json(&self, path: &str) {
-        let records = self.records.lock().expect("engine records poisoned");
+        let records = self.records.lock_unpoisoned();
         let mut out = String::from("[\n");
         for (i, r) in records.iter().enumerate() {
             out.push_str("  ");
@@ -463,10 +466,7 @@ where
     let deques: Vec<Mutex<VecDeque<usize>>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
     for i in 0..total {
-        deques[i % workers]
-            .lock()
-            .expect("deque poisoned")
-            .push_back(i);
+        deques[i % workers].lock_unpoisoned().push_back(i);
     }
     std::thread::scope(|scope| {
         for w in 0..workers {
@@ -474,10 +474,10 @@ where
             let slots = &slots;
             let results = &results;
             scope.spawn(move || loop {
-                let mut claimed = deques[w].lock().expect("deque poisoned").pop_front();
+                let mut claimed = deques[w].lock_unpoisoned().pop_front();
                 if claimed.is_none() {
                     for other in deques.iter() {
-                        claimed = other.lock().expect("deque poisoned").pop_back();
+                        claimed = other.lock_unpoisoned().pop_back();
                         if claimed.is_some() {
                             break;
                         }
@@ -485,20 +485,20 @@ where
                 }
                 let Some(idx) = claimed else { break };
                 let task = slots[idx]
-                    .lock()
-                    .expect("task slot poisoned")
+                    .lock_unpoisoned()
                     .take()
+                    // lsq-lint: allow(no-unwrap-in-lib, reason = "each index is enqueued exactly once, so the claimed slot still holds its closure")
                     .expect("task claimed once");
-                *results[idx].lock().expect("result slot poisoned") = Some(task());
+                *results[idx].lock_unpoisoned() = Some(task());
             });
         }
     });
     results
         .into_iter()
         .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every task runs")
+            let r = slot.into_inner().unwrap_or_else(PoisonError::into_inner);
+            // lsq-lint: allow(no-unwrap-in-lib, reason = "thread::scope joined every worker (propagating any panic), so each slot is filled")
+            r.expect("every task runs")
         })
         .collect()
 }
@@ -510,7 +510,11 @@ pub fn worker_count(jobs: usize) -> usize {
     let parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    worker_count_from(std::env::var("LSQ_JOBS").ok().as_deref(), parallelism, jobs)
+    worker_count_from(
+        lsq_util::knobs::get("LSQ_JOBS").as_deref(),
+        parallelism,
+        jobs,
+    )
 }
 
 /// Pure core of [`worker_count`], separated for testing.
@@ -557,7 +561,7 @@ fn job_label(job: &Job) -> String {
 }
 
 fn progress_enabled() -> bool {
-    match std::env::var("LSQ_PROGRESS").ok().as_deref() {
+    match lsq_util::knobs::get("LSQ_PROGRESS").as_deref() {
         Some("0") => false,
         Some(_) => true,
         None => std::io::stderr().is_terminal(),

@@ -165,6 +165,7 @@ pub fn table2(spec: RunSpec) -> Artifact {
     let mut t = Table::new(vec!["bench", "class", "IPC measured", "IPC paper"]);
     let mut pairs = Vec::new();
     for (name, r) in &rows {
+        // lsq-lint: allow(no-unwrap-in-lib, reason = "name came out of run_matrix, which iterates BenchProfile's own table")
         let fp = BenchProfile::named(name).expect("known").fp;
         t.row(vec![
             name.to_string(),
@@ -708,7 +709,7 @@ pub fn supplementary_ssit_pressure(spec: RunSpec) -> Artifact {
 /// CPI stack. (The engine's result cache has no accounting dimension;
 /// an artifact run starts with a cold cache, so all its jobs are fresh.)
 fn with_accounting<R>(f: impl FnOnce() -> R) -> R {
-    let prior = std::env::var_os("LSQ_ACCOUNTING");
+    let prior = lsq_util::knobs::get_os("LSQ_ACCOUNTING");
     std::env::set_var("LSQ_ACCOUNTING", "1");
     let out = f();
     match prior {
@@ -758,6 +759,7 @@ pub fn cpi_stack(spec: RunSpec) -> Artifact {
             let stack = res
                 .cpi_stack
                 .as_ref()
+                // lsq-lint: allow(no-unwrap-in-lib, reason = "the matrix above ran with accounting enabled, so every record carries a CPI stack")
                 .expect("accounting was enabled for this matrix");
             let denom = (stack.commit_width * res.committed.max(1)) as f64;
             let mut row = vec![

@@ -43,8 +43,7 @@ impl Default for RunSpec {
 }
 
 fn default_instrs() -> u64 {
-    std::env::var("LSQ_INSTRS")
-        .ok()
+    lsq_util::knobs::get("LSQ_INSTRS")
         .and_then(|v| v.parse().ok())
         .unwrap_or(250_000)
 }
@@ -59,6 +58,7 @@ fn default_instrs() -> u64 {
 ///
 /// Panics if `bench` is not one of the 18 profile names.
 pub fn run_design_point(bench: &str, lsq: LsqConfig, scaled: bool, spec: RunSpec) -> SimResult {
+    // lsq-lint: allow(no-unwrap-in-lib, reason = "documented # Panics contract: bench must be one of the 18 profile names")
     let profile = BenchProfile::named(bench).unwrap_or_else(|| panic!("unknown benchmark {bench}"));
     engine::global()
         .run_batch(&[Job {
@@ -68,22 +68,21 @@ pub fn run_design_point(bench: &str, lsq: LsqConfig, scaled: bool, spec: RunSpec
             spec,
         }])
         .pop()
+        // lsq-lint: allow(no-unwrap-in-lib, reason = "run_batch returns exactly one result per submitted job")
         .expect("one job, one result")
 }
 
 /// Whether `LSQ_PROFILE` asks for the simulator self-profiler: any
 /// non-empty value except `0` enables it (see [`lsq_pipeline::profile`]).
 pub fn profile_enabled() -> bool {
-    matches!(std::env::var("LSQ_PROFILE").ok().as_deref(),
-             Some(v) if !v.trim().is_empty() && v.trim() != "0")
+    lsq_util::knobs::flag("LSQ_PROFILE")
 }
 
 /// Whether `LSQ_ACCOUNTING` asks for cycle accounting (CPI stacks):
 /// any non-empty value except `0` enables it (see
 /// [`lsq_pipeline::accounting`]).
 pub fn accounting_enabled() -> bool {
-    matches!(std::env::var("LSQ_ACCOUNTING").ok().as_deref(),
-             Some(v) if !v.trim().is_empty() && v.trim() != "0")
+    lsq_util::knobs::flag("LSQ_ACCOUNTING")
 }
 
 /// Default window width (cycles) for `LSQ_ACCOUNTING_CSV` rows.
@@ -94,7 +93,7 @@ const DEFAULT_ACCOUNTING_WINDOW: u64 = 10_000;
 /// (default 10 000). Implies nothing unless `LSQ_ACCOUNTING` is also
 /// set — the sampler hangs off the accountant.
 fn accounting_csv_from_env() -> Option<(PathBuf, u64)> {
-    let raw = std::env::var("LSQ_ACCOUNTING_CSV").ok()?;
+    let raw = lsq_util::knobs::get("LSQ_ACCOUNTING_CSV")?;
     let raw = raw.trim();
     if raw.is_empty() {
         return None;
@@ -139,6 +138,7 @@ fn simulate_parts<T: Tracer + Clone, P: Profiler, A: CycleAccountant>(
     acct: A,
     sample_window: Option<u64>,
 ) -> (SimResult, Option<Sampler>, Option<CpiStackSampler>) {
+    // lsq-lint: allow(no-unwrap-in-lib, reason = "documented # Panics contract: bench must be one of the 18 profile names")
     let profile = BenchProfile::named(bench).unwrap_or_else(|| panic!("unknown benchmark {bench}"));
     let cfg = if scaled {
         SimConfig::scaled(lsq)
@@ -440,6 +440,7 @@ pub fn run_all_benchmarks(
 ) -> Vec<(&'static str, SimResult)> {
     run_matrix(&[lsq], scaled, spec)
         .into_iter()
+        // lsq-lint: allow(no-unwrap-in-lib, reason = "run_matrix ran exactly one config per benchmark in this sweep")
         .map(|(name, mut row)| (name, row.pop().expect("one config")))
         .collect()
 }
@@ -477,6 +478,7 @@ pub fn int_fp_means(rows: &[(&'static str, f64)]) -> (f64, f64) {
     let mut int = Vec::new();
     let mut fp = Vec::new();
     for (name, v) in rows {
+        // lsq-lint: allow(no-unwrap-in-lib, reason = "names come from Table 2 rows, all drawn from BenchProfile's table")
         let profile = BenchProfile::named(name).expect("known benchmark");
         if profile.fp {
             fp.push(*v);

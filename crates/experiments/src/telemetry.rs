@@ -14,6 +14,7 @@
 use lsq_obs::Json;
 use lsq_pipeline::{CpiStack, PhaseProfile, SimResult};
 use lsq_telemetry::{Counter, FloatGauge, Gauge, HistogramMetric, Metrics, MetricsServer};
+use lsq_util::sync::MutexExt;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Live view of one scheduler worker, kept for `/jobs`.
@@ -107,7 +108,7 @@ impl EngineTelemetry {
     pub fn maybe_serve_from_env(&'static self) {
         static SERVER: OnceLock<Option<MetricsServer>> = OnceLock::new();
         SERVER.get_or_init(|| {
-            let addr = std::env::var("LSQ_METRICS_ADDR").ok()?;
+            let addr = lsq_util::knobs::get("LSQ_METRICS_ADDR")?;
             if addr.trim().is_empty() {
                 return None;
             }
@@ -142,7 +143,7 @@ impl EngineTelemetry {
     /// workers.
     pub(crate) fn batch_started(&self, queued: usize, workers: usize) {
         self.jobs_queued.add(queued as i64);
-        let mut views = self.workers.lock().expect("worker views poisoned");
+        let mut views = self.workers.lock_unpoisoned();
         if views.len() < workers {
             views.resize(workers, WorkerView::default());
         }
@@ -155,7 +156,7 @@ impl EngineTelemetry {
         if stolen {
             self.steals.inc();
         }
-        let mut views = self.workers.lock().expect("worker views poisoned");
+        let mut views = self.workers.lock_unpoisoned();
         if let Some(v) = views.get_mut(worker) {
             v.busy = true;
             v.current = Some(label);
@@ -185,7 +186,7 @@ impl EngineTelemetry {
         if let Some(stack) = &result.cpi_stack {
             self.merge_stack(stack);
         }
-        let mut views = self.workers.lock().expect("worker views poisoned");
+        let mut views = self.workers.lock_unpoisoned();
         if let Some(v) = views.get_mut(worker) {
             v.busy = false;
             v.current = None;
@@ -224,7 +225,7 @@ impl EngineTelemetry {
                 )
                 .add(stat.calls);
         }
-        let mut agg = self.profile.lock().expect("profile poisoned");
+        let mut agg = self.profile.lock_unpoisoned();
         match agg.as_mut() {
             Some(a) => a.merge(profile),
             None => *agg = Some(profile.clone()),
@@ -234,7 +235,7 @@ impl EngineTelemetry {
     /// The process-wide aggregated phase profile, if any job was
     /// profiled.
     pub fn aggregated_profile(&self) -> Option<PhaseProfile> {
-        self.profile.lock().expect("profile poisoned").clone()
+        self.profile.lock_unpoisoned().clone()
     }
 
     /// Folds one job's CPI stack into the process aggregate and the
@@ -250,7 +251,7 @@ impl EngineTelemetry {
                 )
                 .add(stat.slots);
         }
-        let mut agg = self.stack.lock().expect("cpi stack poisoned");
+        let mut agg = self.stack.lock_unpoisoned();
         match agg.as_mut() {
             Some(a) => a.merge(stack),
             None => *agg = Some(stack.clone()),
@@ -260,12 +261,12 @@ impl EngineTelemetry {
     /// The process-wide aggregated CPI stack, if any job ran with
     /// cycle accounting.
     pub fn aggregated_stack(&self) -> Option<CpiStack> {
-        self.stack.lock().expect("cpi stack poisoned").clone()
+        self.stack.lock_unpoisoned().clone()
     }
 
     /// The `/jobs` snapshot.
     pub fn jobs_json(&self) -> Json {
-        let views = self.workers.lock().expect("worker views poisoned").clone();
+        let views = self.workers.lock_unpoisoned().clone();
         let workers: Vec<Json> = views
             .iter()
             .enumerate()

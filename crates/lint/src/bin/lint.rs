@@ -1,0 +1,110 @@
+//! The `lint` binary: walk the workspace, print diagnostics, exit 0/1.
+//!
+//! ```text
+//! lint [--root <dir>] [--json] [--self-check]
+//! ```
+//!
+//! * `--root <dir>` — workspace root to lint; defaults to the nearest
+//!   ancestor of the current directory containing a `[workspace]`
+//!   `Cargo.toml`.
+//! * `--json` — emit diagnostics as a JSON array on stdout.
+//! * `--self-check` — instead of linting, prove every rule fires on a
+//!   seeded violation and stays quiet on its compliant twin.
+//!
+//! Exit codes: 0 clean, 1 violations (or failed self-check), 2 usage
+//! or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut self_check = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--self-check" => self_check = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("lint: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: lint [--root <dir>] [--json] [--self-check]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if self_check {
+        let failures = lsq_lint::self_check();
+        if failures.is_empty() {
+            println!(
+                "lint self-check: all {} rules fire and stay quiet as expected",
+                lsq_lint::rules::ALL_RULES.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        for f in &failures {
+            eprintln!("lint self-check FAILED: {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("lint: no workspace root found (run inside the repo or pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let diags = match lsq_lint::lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", lsq_lint::to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if diags.is_empty() {
+            println!("lint: clean ({} rules)", lsq_lint::rules::ALL_RULES.len());
+        } else {
+            println!("lint: {} violation(s)", diags.len());
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The nearest ancestor directory whose `Cargo.toml` declares
+/// `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Diagnostics: what a rule reports and how it is rendered.
+
+use std::fmt;
+
+/// How severe a finding is. Every current rule is [`Severity::Error`];
+/// the level exists so future advisory rules can ride the same engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: reported but does not fail the run.
+    Warning,
+    /// Violation: fails the run (exit 1, test failure).
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase name used in output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding, anchored to a workspace-relative file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier (`hot-path-alloc`, `knob-registry`, …).
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line; 0 when the finding concerns a whole file.
+    pub line: u32,
+    /// Severity; errors make the lint run fail.
+    pub severity: Severity,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} [{}] {}",
+            self.path,
+            self.line,
+            self.severity.name(),
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Escapes `s` for inclusion in a JSON string literal.
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u");
+                let mut buf = String::new();
+                fmt::write(&mut buf, format_args!("{:04x}", c as u32)).ok();
+                out.push_str(&buf);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders diagnostics as a JSON array (machine-readable `--json` mode).
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"rule\":\"");
+        json_escape(d.rule, &mut out);
+        out.push_str("\",\"path\":\"");
+        json_escape(&d.path, &mut out);
+        out.push_str("\",\"line\":");
+        out.push_str(&d.line.to_string());
+        out.push_str(",\"severity\":\"");
+        out.push_str(d.severity.name());
+        out.push_str("\",\"message\":\"");
+        json_escape(&d.message, &mut out);
+        out.push_str("\"}");
+    }
+    out.push_str("\n]\n");
+    out
+}

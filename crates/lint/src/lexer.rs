@@ -1,0 +1,333 @@
+//! A small comment/string/lifetime-aware Rust lexer.
+//!
+//! The rules need token streams, not character soup: `Vec::new` inside
+//! a string literal is data, inside a doc example is prose, and inside
+//! a hot function is a violation. The lexer therefore separates real
+//! code tokens from comments and keeps string/char contents opaque, so
+//! no rule ever greps raw source text.
+//!
+//! Handled Rust surface: line (`//`) and nested block (`/* /* */ */`)
+//! comments with doc-comment classification, plain/byte/C strings with
+//! escapes, raw strings with arbitrary hash fences (`r##"…"##`), raw
+//! identifiers (`r#type`), char literals vs. lifetimes (`'a'` vs `'a`),
+//! numbers with type suffixes, identifiers, and single-character
+//! punctuation. That is enough to tokenize this workspace exactly; the
+//! lexer never errors, it degrades to punctuation tokens on anything
+//! unexpected.
+
+/// What kind of code token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `Vec`, `r#type` → `type`).
+    Ident,
+    /// Numeric literal, including suffixes (`0x1f`, `1_000u64`, `1.5`).
+    Num,
+    /// String literal of any flavour; `text` is the unquoted content.
+    Str,
+    /// Char or byte-char literal; `text` is the raw inner content.
+    Char,
+    /// Lifetime (`'a`, `'static`); `text` excludes the quote.
+    Lifetime,
+    /// One punctuation character (`.`, `:`, `{`, `!`, …).
+    Punct,
+}
+
+/// One code token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for per-kind conventions).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Whether this is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == ch as u8
+    }
+}
+
+/// One comment, with doc-comments flagged so directive parsing can
+/// ignore them (a doc example showing waiver syntax is not a waiver).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line where the comment starts.
+    pub line: u32,
+    /// 1-based line where the comment ends (differs for block comments).
+    pub end_line: u32,
+    /// Comment content without the `//` / `/* */` markers.
+    pub text: String,
+    /// `///`, `//!`, `/**`, or `/*!`.
+    pub doc: bool,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`. Never fails; see module docs for coverage.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(line, 0, false),
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed(line),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let doc = matches!(self.peek(0), Some('/' | '!'))
+            // `////…` separator lines are plain comments, not docs.
+            && !(self.peek(0) == Some('/') && self.peek(1) == Some('/'));
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: line,
+            text,
+            doc,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let doc = matches!(self.peek(0), Some('*' | '!'))
+            // `/**/` is empty, `/***…` is a separator, neither is doc.
+            && self.peek(1) != Some('/')
+            && !(self.peek(0) == Some('*') && self.peek(1) == Some('*'));
+        let mut depth = 1u32;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                self.bump();
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text,
+            doc,
+        });
+    }
+
+    /// Plain/byte/C string starting at the opening quote; `raw`
+    /// disables escape processing and `hashes` is the raw fence width.
+    fn string(&mut self, line: u32, hashes: usize, raw: bool) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\\' && !raw {
+                self.bump();
+                if let Some(esc) = self.bump() {
+                    text.push('\\');
+                    text.push(esc);
+                }
+            } else if c == '"' {
+                // A raw string only closes on `"` followed by its fence.
+                let closes = (0..hashes).all(|i| self.peek(1 + i) == Some('#'));
+                if closes {
+                    self.bump();
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+                text.push(c);
+                self.bump();
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // opening '
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume escape, then to the quote.
+                let mut text = String::new();
+                self.bump();
+                if let Some(esc) = self.bump() {
+                    text.push('\\');
+                    text.push(esc);
+                }
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                    text.push(c);
+                }
+                self.push(TokKind::Char, text, line);
+            }
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                if self.peek(1) == Some('\'') {
+                    // 'x' — one-character char literal.
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Char, c.to_string(), line);
+                } else {
+                    // 'ident — a lifetime.
+                    let mut text = String::new();
+                    while let Some(c) = self.peek(0) {
+                        if c == '_' || c.is_alphanumeric() {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokKind::Lifetime, text, line);
+                }
+            }
+            Some(c) => {
+                // Punctuation char literal like '(' or ' '.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Char, c.to_string(), line);
+            }
+            None => self.push(TokKind::Punct, "'".to_string(), line),
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            let continues = c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if !continues {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Num, text, line);
+    }
+
+    fn ident_or_prefixed(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // String-literal prefixes and raw identifiers.
+        match (text.as_str(), self.peek(0)) {
+            ("b" | "c", Some('"')) => self.string(line, 0, false),
+            ("r" | "br" | "cr", Some('"')) => self.string(line, 0, true),
+            ("r" | "br" | "cr", Some('#')) => {
+                // Count the fence; `r#ident` (one hash, then ident char)
+                // is a raw identifier instead.
+                let mut hashes = 0;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    self.string(line, hashes, true);
+                } else if text == "r" && hashes == 1 {
+                    self.bump(); // the '#'
+                    self.ident_or_prefixed(line); // lex the ident itself
+                } else {
+                    self.push(TokKind::Ident, text, line);
+                }
+            }
+            _ => self.push(TokKind::Ident, text, line),
+        }
+    }
+}

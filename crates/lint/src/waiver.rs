@@ -1,0 +1,133 @@
+//! `lsq-lint:` comment directives: waivers and hot-path markers.
+//!
+//! Two directives exist, both in plain (non-doc) comments:
+//!
+//! * `lsq-lint: hot` — marks the next `fn` or `mod` item as a hot
+//!   path; the `hot-path-alloc` rule denies allocation inside it.
+//! * `lsq-lint: allow(<rule>, reason = "<why>")` — waives `<rule>` on
+//!   the directive's line and the line directly below it. The reason is
+//!   mandatory and non-empty: a waiver without one is itself a
+//!   violation (`waiver-syntax`), as is a waiver naming an unknown
+//!   rule. This keeps every exception self-justifying in place.
+//!
+//! Doc comments are deliberately ignored so documentation can quote the
+//! syntax without creating live directives.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::Comment;
+
+/// A parsed, well-formed waiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// The rule being waived.
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Line the directive ends on; it covers this line and the next.
+    pub line: u32,
+}
+
+impl Waiver {
+    /// Whether this waiver covers a diagnostic of `rule` at `line`.
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.rule == rule && (line == self.line || line == self.line + 1)
+    }
+}
+
+/// All directives extracted from one file's comments.
+#[derive(Debug, Default)]
+pub struct Directives {
+    /// Well-formed waivers.
+    pub waivers: Vec<Waiver>,
+    /// Lines carrying a `hot` marker.
+    pub hot_lines: Vec<u32>,
+    /// Malformed directives, reported as `waiver-syntax` errors.
+    pub errors: Vec<Diagnostic>,
+}
+
+/// Parses every `lsq-lint:` directive in `comments`. `path` and
+/// `known_rules` feed the error diagnostics.
+pub fn parse(path: &str, comments: &[Comment], known_rules: &[&'static str]) -> Directives {
+    let mut out = Directives::default();
+    for c in comments {
+        if c.doc {
+            continue;
+        }
+        let Some(body) = c.text.trim().strip_prefix("lsq-lint:") else {
+            continue;
+        };
+        let body = body.trim();
+        if body == "hot" {
+            out.hot_lines.push(c.end_line);
+        } else if let Some(args) = body
+            .strip_prefix("allow(")
+            .and_then(|r| r.strip_suffix(')'))
+        {
+            parse_allow(path, args, c.end_line, known_rules, &mut out);
+        } else {
+            out.errors.push(syntax_error(
+                path,
+                c.end_line,
+                format!(
+                    "unrecognized lsq-lint directive `{body}`; expected `hot` or \
+                     `allow(<rule>, reason = \"…\")`"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn parse_allow(
+    path: &str,
+    args: &str,
+    line: u32,
+    known_rules: &[&'static str],
+    out: &mut Directives,
+) {
+    let (rule, rest) = match args.split_once(',') {
+        Some((rule, rest)) => (rule.trim(), Some(rest.trim())),
+        None => (args.trim(), None),
+    };
+    if !known_rules.contains(&rule) {
+        out.errors.push(syntax_error(
+            path,
+            line,
+            format!("waiver names unknown rule `{rule}`"),
+        ));
+        return;
+    }
+    let reason = rest
+        .and_then(|r| r.strip_prefix("reason"))
+        .map(|r| r.trim_start())
+        .and_then(|r| r.strip_prefix('='))
+        .map(|r| r.trim())
+        .and_then(|r| r.strip_prefix('"'))
+        .and_then(|r| r.strip_suffix('"'))
+        .map(str::trim);
+    match reason {
+        Some(reason) if !reason.is_empty() => out.waivers.push(Waiver {
+            rule: rule.to_string(),
+            reason: reason.to_string(),
+            line,
+        }),
+        _ => out.errors.push(syntax_error(
+            path,
+            line,
+            format!(
+                "waiver for `{rule}` has no reason; write \
+                 `lsq-lint: allow({rule}, reason = \"…\")` with a non-empty reason"
+            ),
+        )),
+    }
+}
+
+fn syntax_error(path: &str, line: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        rule: crate::rules::WAIVER_SYNTAX,
+        path: path.to_string(),
+        line,
+        severity: Severity::Error,
+        message,
+    }
+}

@@ -1,0 +1,159 @@
+//! Lexer torture tests: the tricky corners of Rust surface syntax that
+//! a regex-over-source approach gets wrong — raw strings, nested block
+//! comments, comment markers inside string literals, chars vs.
+//! lifetimes — must all tokenize correctly, because every rule trusts
+//! the token stream.
+
+use lsq_lint::lexer::{lex, TokKind};
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .toks
+        .into_iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text)
+        .collect()
+}
+
+fn strings(src: &str) -> Vec<String> {
+    lex(src)
+        .toks
+        .into_iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .map(|t| t.text)
+        .collect()
+}
+
+#[test]
+fn raw_strings_with_hash_fences_are_opaque() {
+    // The inner `"#` and `Vec::new` must not terminate the literal or
+    // leak tokens.
+    let src = r####"let s = r##"quote " and "# and Vec::new()"##; done();"####;
+    assert_eq!(strings(src), vec![r##"quote " and "# and Vec::new()"##]);
+    assert_eq!(idents(src), vec!["let", "s", "done"]);
+}
+
+#[test]
+fn zero_hash_raw_strings_do_not_process_escapes() {
+    // In `r"…"` a backslash is a literal backslash; `\"` would end the
+    // string early if escapes were (wrongly) honored.
+    let lexed = lex(r#"let s = r"a\"; let t = 1;"#);
+    let strs: Vec<_> = lexed
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .collect();
+    assert_eq!(strs.len(), 1);
+    assert_eq!(strs[0].text, r"a\");
+    assert!(lexed.toks.iter().any(|t| t.is_ident("t")));
+}
+
+#[test]
+fn byte_and_c_string_prefixes() {
+    assert_eq!(
+        strings(r#"let a = b"bytes"; let b = c"cstr";"#),
+        vec!["bytes", "cstr"]
+    );
+    assert_eq!(
+        strings(r###"let a = br#"raw "bytes""#;"###),
+        vec![r#"raw "bytes""#]
+    );
+}
+
+#[test]
+fn escaped_quotes_stay_inside_the_string() {
+    assert_eq!(strings(r#"f("a\"b", "c\\");"#), vec![r#"a\"b"#, r"c\\"]);
+}
+
+#[test]
+fn line_comment_markers_inside_strings_are_data() {
+    let lexed = lex(r#"let url = "http://example.com"; after();"#);
+    assert!(lexed.comments.is_empty(), "no comment should be recorded");
+    assert!(lexed.toks.iter().any(|t| t.is_ident("after")));
+}
+
+#[test]
+fn block_comment_markers_inside_strings_are_data() {
+    let lexed = lex(r#"let s = "/* not a comment */"; after();"#);
+    assert!(lexed.comments.is_empty());
+    assert!(lexed.toks.iter().any(|t| t.is_ident("after")));
+}
+
+#[test]
+fn nested_block_comments_close_at_matching_depth() {
+    let src = "/* outer /* inner */ still outer */ fn live() {}";
+    let lexed = lex(src);
+    assert_eq!(lexed.comments.len(), 1);
+    assert!(lexed.comments[0].text.contains("still outer"));
+    assert_eq!(idents(src), vec!["fn", "live"]);
+}
+
+#[test]
+fn block_comments_track_line_numbers() {
+    let src = "/* one\ntwo\nthree */\nfn after() {}\n";
+    let lexed = lex(src);
+    assert_eq!(lexed.comments[0].line, 1);
+    assert_eq!(lexed.comments[0].end_line, 3);
+    let fn_tok = lexed.toks.iter().find(|t| t.is_ident("fn")).unwrap();
+    assert_eq!(fn_tok.line, 4);
+}
+
+#[test]
+fn doc_comments_are_flagged() {
+    let lexed = lex("/// outer doc\n//! inner doc\n// plain\n/** block doc */\n/*! bang doc */\n/* plain block */\n");
+    let flags: Vec<bool> = lexed.comments.iter().map(|c| c.doc).collect();
+    assert_eq!(flags, vec![true, true, false, true, true, false]);
+}
+
+#[test]
+fn chars_versus_lifetimes() {
+    let lexed = lex("fn f<'a>(x: &'static str) { let c = 'y'; let nl = '\\n'; let b = b'z'; }");
+    let lifetimes: Vec<_> = lexed
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .map(|t| t.text.clone())
+        .collect();
+    assert_eq!(lifetimes, vec!["a", "static"]);
+    let chars: Vec<_> = lexed
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Char)
+        .map(|t| t.text.clone())
+        .collect();
+    assert_eq!(chars, vec!["y", "\\n", "z"]);
+}
+
+#[test]
+fn raw_identifiers_unwrap_to_the_bare_name() {
+    assert_eq!(idents("let r#type = r#fn;"), vec!["let", "type", "fn"]);
+}
+
+#[test]
+fn numbers_with_suffixes_and_radices() {
+    let lexed = lex("let a = 1_000u64; let b = 0x1f; let c = 1.5e3;");
+    let nums: Vec<_> = lexed
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Num)
+        .map(|t| t.text.clone())
+        .collect();
+    assert_eq!(nums, vec!["1_000u64", "0x1f", "1.5e3"]);
+}
+
+#[test]
+fn comment_text_preserves_directive_body() {
+    let lexed = lex("// lsq-lint: hot\nfn search() {}\n");
+    assert_eq!(lexed.comments[0].text.trim(), "lsq-lint: hot");
+    assert_eq!(lexed.comments[0].line, 1);
+}
+
+#[test]
+fn unterminated_string_does_not_panic() {
+    // Degradation, not correctness: the lexer must never panic on
+    // malformed input (it may tokenize it arbitrarily).
+    let _ = lex("let s = \"unterminated");
+    let _ = lex("let c = '");
+    let _ = lex("/* unterminated block");
+    let _ = lex("let s = r###\"unterminated raw");
+}

@@ -146,6 +146,7 @@ impl Cache {
         let victim = ways
             .iter_mut()
             .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            // lsq-lint: allow(no-unwrap-in-lib, reason = "associativity is validated non-zero at construction, so every set has ways")
             .expect("ways is non-empty");
         if victim.valid && victim.dirty {
             self.stats.writebacks += 1;

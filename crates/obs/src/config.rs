@@ -65,15 +65,14 @@ impl TraceConfig {
     /// Read `LSQ_TRACE` / `LSQ_SAMPLE_CYCLES` / `LSQ_TRACE_CAP`;
     /// `None` when `LSQ_TRACE` is unset or empty.
     pub fn from_env() -> Option<TraceConfig> {
-        let trace = std::env::var("LSQ_TRACE").ok()?;
+        let trace = lsq_util::knobs::get("LSQ_TRACE")?;
         if trace.trim().is_empty() {
             return None;
         }
-        let sample = std::env::var("LSQ_SAMPLE_CYCLES").ok();
+        let sample = lsq_util::knobs::get("LSQ_SAMPLE_CYCLES");
         let mut cfg = TraceConfig::parse(&trace, sample.as_deref());
-        if let Some(cap) = std::env::var("LSQ_TRACE_CAP")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
+        if let Some(cap) =
+            lsq_util::knobs::get("LSQ_TRACE_CAP").and_then(|s| s.trim().parse::<usize>().ok())
         {
             cfg.capacity = cap.max(1);
         }

@@ -231,7 +231,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -263,7 +263,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -286,7 +286,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -297,7 +297,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             fields.push((key, self.value()?));
             self.skip_ws();
@@ -313,7 +313,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let start = self.pos;
@@ -325,7 +325,9 @@ impl<'a> Parser<'a> {
             }
             // The slice between escapes is valid UTF-8 because the
             // input is a &str and we only stop on ASCII bytes.
-            out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+            let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| format!("invalid utf-8 in string at byte {}", start))?;
+            out.push_str(run);
             match self.peek() {
                 Some(b'"') => {
                     self.pos += 1;
@@ -407,7 +409,8 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid utf-8 in number at byte {}", start))?;
         if is_float {
             text.parse::<f64>()
                 .map(Json::Num)

@@ -41,7 +41,22 @@ pub trait Tracer {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NopTracer;
 
-impl Tracer for NopTracer {}
+// Spelled out (rather than relying on trait defaults) so lsq-lint's
+// zero-cost-nop rule can check the contract locally: every method
+// trivial and #[inline(always)], so untraced builds monomorphize to
+// exactly the pre-tracing code.
+impl Tracer for NopTracer {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn set_cycle(&mut self, _cycle: u64) {}
+
+    #[inline(always)]
+    fn emit(&mut self, _event: Event) {}
+}
 
 /// A bounded ring of [`TimedEvent`]s plus always-on per-PC attribution.
 ///

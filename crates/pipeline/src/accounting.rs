@@ -202,7 +202,33 @@ pub trait CycleAccountant {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NopAccountant;
 
-impl CycleAccountant for NopAccountant {}
+// Spelled out so lsq-lint's zero-cost-nop rule can check the contract
+// locally: every method trivial and #[inline(always)].
+impl CycleAccountant for NopAccountant {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn init(&mut self, _commit_width: u64) {}
+
+    #[inline(always)]
+    fn charge(&mut self, _component: Component, _slots: u64) {}
+
+    #[inline(always)]
+    fn end_cycle(&mut self, _cycle: u64) {}
+
+    #[inline(always)]
+    fn report(&self) -> Option<CpiStack> {
+        None
+    }
+
+    #[inline(always)]
+    fn take_sampler(&mut self) -> Option<CpiStackSampler> {
+        None
+    }
+}
 
 /// Accumulates commit slots per component, optionally sampling the
 /// cumulative counters into fixed-width windows.

@@ -246,9 +246,11 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
     ///
     /// Panics if the configuration fails [`SimConfig::validate`].
     pub fn with_all(cfg: SimConfig, tracer: T, profiler: P, mut acct: A) -> Self {
+        // lsq-lint: allow(no-unwrap-in-lib, reason = "constructor's documented # Panics contract: cfg must validate")
         cfg.validate().expect("valid simulator configuration");
         acct.init(cfg.commit_width as u64);
         Self {
+            // lsq-lint: allow(no-unwrap-in-lib, reason = "cfg.validate() succeeded on the previous line")
             lsq: Lsq::with_tracer(cfg.lsq, tracer.clone()).expect("validated above"),
             mem: MemoryHierarchy::with_tracer(cfg.hierarchy, tracer.clone()),
             tracer,
@@ -389,6 +391,7 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
     }
 
     /// Advances the machine one cycle.
+    // lsq-lint: hot
     fn step<S: InstructionStream>(&mut self, stream: &mut S) {
         self.cycle += 1;
         // One clock for all sinks: the tracer clones in the LSQ and the
@@ -423,6 +426,7 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
     /// first in [`Self::step`], so the head observed here is the one
     /// commit failed to retire this cycle — the stall records taken by
     /// issue and dispatch later in the same cycle refer to it).
+    // lsq-lint: hot
     fn account_cycle(&mut self) {
         let n = self.committed - self.acct_prev_committed;
         self.acct_prev_committed = self.committed;
@@ -448,6 +452,7 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
     /// slots. Precedence: the ROB head's own reason first (interval
     /// analysis), then structural dispatch backpressure, then the
     /// residual dependence-chain bucket.
+    // lsq-lint: hot
     fn classify_stall(
         &self,
         head_stall: Option<(u64, Component)>,
@@ -468,6 +473,7 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
             }
             return Component::Frontend;
         };
+        // lsq-lint: allow(no-unwrap-in-lib, reason = "the head seq was taken from the ROB just above, so front() is occupied")
         let e = self.rob.front().expect("head exists");
         if e.state == State::Issued {
             if drain_blocked
@@ -577,6 +583,7 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
     /// detected violation squashes from the premature load — which is
     /// still in the ROB, since loads cannot retire past an undrained
     /// older store.
+    // lsq-lint: hot
     fn drain_stores(&mut self) {
         while self.dcache_used < self.cfg.dcache_ports {
             match self.lsq.drain_store() {
@@ -598,11 +605,13 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
         }
     }
 
+    // lsq-lint: hot
     fn commit(&mut self) {
         for _ in 0..self.cfg.commit_width {
             let Some(seq) = self.rob.head_seq() else {
                 break;
             };
+            // lsq-lint: allow(no-unwrap-in-lib, reason = "the commit loop runs only while the ROB has a head")
             let e = *self.rob.front().expect("head exists");
             if e.state != State::Issued || e.complete_at > self.cycle {
                 break;
@@ -634,6 +643,7 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
     }
 
     fn retire(&mut self, seq: u64) {
+        // lsq-lint: allow(no-unwrap-in-lib, reason = "the commit loop established this head; popping it cannot fail")
         let (s, e) = self.rob.pop().expect("retiring head");
         debug_assert_eq!(s, seq);
         if e.wakeup_extra > 0 {
@@ -665,6 +675,7 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
 
     /// Cycle at which dependence `dep` allows issue, or `None` if the
     /// producer has not yet issued.
+    // lsq-lint: hot
     fn dep_ready_at(&self, dep: u64) -> Option<u64> {
         match self.rob.get(dep) {
             None => Some(0), // committed
@@ -675,6 +686,7 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
         }
     }
 
+    // lsq-lint: hot
     fn ready(&self, e: &DynInst) -> bool {
         e.deps
             .iter()
@@ -687,6 +699,7 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
     /// on a resource stall. Resource checks run in the same order as
     /// the historical polling scan (unit, then dcache port, then LSQ)
     /// so stall counters match between scheduler modes.
+    // lsq-lint: hot
     fn try_issue_one(
         &mut self,
         seq: u64,
@@ -738,6 +751,7 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
                             0
                         };
                         let acct_enabled = self.acct.enabled();
+                        // lsq-lint: allow(no-unwrap-in-lib, reason = "completion events reference only in-flight seqs resident in the ROB")
                         let entry = self.rob.get_mut(seq).expect("resident");
                         entry.state = State::Issued;
                         entry.complete_at =
@@ -769,6 +783,7 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
             }
             InstrKind::Store => match self.timed(Phase::LsqSearch, |s| s.lsq.store_issue(seq)) {
                 StoreIssue::Issued { violation } => {
+                    // lsq-lint: allow(no-unwrap-in-lib, reason = "completion events reference only in-flight seqs resident in the ROB")
                     let entry = self.rob.get_mut(seq).expect("resident");
                     entry.state = State::Issued;
                     entry.complete_at = self.cycle + 1;
@@ -784,6 +799,7 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
                 }
             },
             _ => {
+                // lsq-lint: allow(no-unwrap-in-lib, reason = "replay events reference only in-flight seqs resident in the ROB")
                 let entry = self.rob.get_mut(seq).expect("resident");
                 entry.state = State::Issued;
                 entry.complete_at = self.cycle + u64::from(kind.exec_latency());
@@ -804,6 +820,7 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
         }
     }
 
+    // lsq-lint: hot
     fn issue(&mut self) {
         let mut issued = 0usize;
         let mut int_left = self.cfg.int_units;
@@ -815,6 +832,7 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
             let mut i = 0usize;
             while i < iq.len() && issued < self.cfg.issue_width {
                 let seq = iq[i];
+                // lsq-lint: allow(no-unwrap-in-lib, reason = "the IQ holds only seqs resident in the ROB")
                 let e = *self.rob.get(seq).expect("IQ entry in ROB");
                 debug_assert_eq!(e.state, State::Waiting);
                 if !self.ready(&e) {
@@ -858,6 +876,7 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
                 let Some(Reverse(seq)) = self.ready.pop() else {
                     break;
                 };
+                // lsq-lint: allow(no-unwrap-in-lib, reason = "the ready list holds only seqs resident in the ROB")
                 let e = *self.rob.get(seq).expect("ready entry in ROB");
                 debug_assert_eq!(e.state, State::Waiting);
                 debug_assert!(self.ready(&e));
@@ -887,6 +906,7 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
     /// counts unissued producers as pending and registers with their
     /// waiter lists; if everything has already issued, schedules the
     /// wakeup directly.
+    // lsq-lint: hot
     fn enqueue_dispatched(&mut self, seq: u64, deps: [Option<u64>; 2]) {
         let mut pending: u8 = 0;
         let mut ready_at: u64 = 0;
@@ -907,6 +927,7 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
                 },
             }
         }
+        // lsq-lint: allow(no-unwrap-in-lib, reason = "this entry was pushed into the ROB by the dispatch just above")
         let e = self.rob.get_mut(seq).expect("just dispatched");
         e.pending_deps = pending;
         e.ready_at = ready_at;
@@ -915,6 +936,7 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
         }
     }
 
+    // lsq-lint: hot
     fn schedule_wakeup(&mut self, seq: u64, at: u64) {
         if at <= self.cycle {
             self.ready.push(Reverse(seq));
@@ -926,14 +948,17 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
     /// Notifies consumers that `producer` issued. Consumers whose last
     /// pending producer this was get a calendar entry at the cycle all
     /// their operands are available (late wakeup included).
+    // lsq-lint: hot
     fn wake_dependents(&mut self, producer: u64) {
         let Some(consumers) = self.waiters.remove(&producer) else {
             return;
         };
+        // lsq-lint: allow(no-unwrap-in-lib, reason = "dependence edges reference only in-flight producers")
         let p = self.rob.get(producer).expect("producer resident");
         let avail = p.complete_at + u64::from(p.wakeup_extra);
         let late = p.wakeup_extra > 0;
         for &c in &consumers {
+            // lsq-lint: allow(no-unwrap-in-lib, reason = "the consumer list holds only in-flight seqs")
             let e = self.rob.get_mut(c).expect("consumer resident");
             e.pending_deps -= 1;
             e.ready_at = e.ready_at.max(avail);
@@ -956,6 +981,7 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
     /// recomputed and, when that moves their wakeup earlier, the
     /// calendar entry is superseded — the old one is recognized as
     /// stale at drain time because it no longer matches `ready_at`.
+    // lsq-lint: hot
     fn relax_late_wakeups(&mut self, producer: u64) {
         let Some(consumers) = self.late_waiters.remove(&producer) else {
             return;
@@ -982,6 +1008,7 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
             if pending > 0 {
                 // Not schedulable yet; just correct the running max so
                 // the final wakeup no longer charges the stale penalty.
+                // lsq-lint: allow(no-unwrap-in-lib, reason = "the wakeup calendar holds only in-flight consumers")
                 self.rob.get_mut(c).expect("consumer resident").ready_at = ready_at;
                 continue;
             }
@@ -990,6 +1017,7 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
                 // ready set this cycle; an earlier time changes nothing.
                 continue;
             }
+            // lsq-lint: allow(no-unwrap-in-lib, reason = "the wakeup calendar holds only in-flight consumers")
             self.rob.get_mut(c).expect("consumer resident").ready_at = ready_at;
             self.schedule_wakeup(c, ready_at);
         }
@@ -999,6 +1027,7 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
     // Dispatch (rename + queue allocation)
     // ------------------------------------------------------------------
 
+    // lsq-lint: hot
     fn dispatch(&mut self) {
         for _ in 0..self.cfg.dispatch_width {
             let Some(f) = self.frontend.front().copied() else {
@@ -1054,6 +1083,7 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
                     mem_level: 0,
                     seg_extra: 0,
                 })
+                // lsq-lint: allow(no-unwrap-in-lib, reason = "guarded by the fullness check above")
                 .expect("checked not full");
             debug_assert_eq!(seq, f.gseq);
             match f.instr.kind {
@@ -1077,6 +1107,7 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
     // Fetch
     // ------------------------------------------------------------------
 
+    // lsq-lint: hot
     fn fetch<S: InstructionStream>(&mut self, stream: &mut S) {
         if self.cycle < self.fetch_resume_at || self.pending_redirect.is_some() {
             return;

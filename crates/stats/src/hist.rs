@@ -75,6 +75,7 @@ impl Histogram {
     pub fn record(&mut self, value: usize) {
         if value >= self.buckets.len() {
             self.overflow += 1;
+            // lsq-lint: allow(no-unwrap-in-lib, reason = "buckets is sized non-empty at construction")
             *self.buckets.last_mut().expect("non-empty") += 1;
         } else {
             self.buckets[value] += 1;
@@ -153,15 +154,18 @@ impl Histogram {
         for (a, b) in self.buckets.iter_mut().zip(&earlier.buckets) {
             *a = a
                 .checked_sub(*b)
+                // lsq-lint: allow(no-unwrap-in-lib, reason = "subtract's documented contract: rhs is a prefix snapshot; saturating would silently corrupt warm-up differencing")
                 .expect("subtrahend is not a prefix snapshot");
         }
         self.overflow = self
             .overflow
             .checked_sub(earlier.overflow)
+            // lsq-lint: allow(no-unwrap-in-lib, reason = "subtract's documented contract: rhs is a prefix snapshot; saturating would silently corrupt warm-up differencing")
             .expect("subtrahend is not a prefix snapshot");
         self.total = self
             .total
             .checked_sub(earlier.total)
+            // lsq-lint: allow(no-unwrap-in-lib, reason = "subtract's documented contract: rhs is a prefix snapshot; saturating would silently corrupt warm-up differencing")
             .expect("subtrahend is not a prefix snapshot");
     }
 }

@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use lsq_stats::Histogram;
+use lsq_util::sync::MutexExt;
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -22,11 +23,13 @@ impl Counter {
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // lsq-lint: allow(relaxed-ordering-audit, reason = "monotonic counter; readers only render a snapshot, no ordering edge needed")
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // lsq-lint: allow(relaxed-ordering-audit, reason = "exposition snapshot; staleness is acceptable, no acquire edge needed")
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -41,23 +44,27 @@ impl Gauge {
     /// Sets the gauge to an absolute value.
     #[inline]
     pub fn set(&self, v: i64) {
+        // lsq-lint: allow(relaxed-ordering-audit, reason = "gauge overwrite; last-writer-wins is the metric's semantics")
         self.value.store(v, Ordering::Relaxed);
     }
 
     /// Adds `n` (may be negative via [`Gauge::sub`]).
     #[inline]
     pub fn add(&self, n: i64) {
+        // lsq-lint: allow(relaxed-ordering-audit, reason = "monotonic counter; readers only render a snapshot, no ordering edge needed")
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Subtracts `n`.
     #[inline]
     pub fn sub(&self, n: i64) {
+        // lsq-lint: allow(relaxed-ordering-audit, reason = "gauge arithmetic; readers only render a snapshot, no ordering edge needed")
         self.value.fetch_sub(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> i64 {
+        // lsq-lint: allow(relaxed-ordering-audit, reason = "exposition snapshot; staleness is acceptable, no acquire edge needed")
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -73,11 +80,13 @@ impl FloatGauge {
     /// Sets the gauge.
     #[inline]
     pub fn set(&self, v: f64) {
+        // lsq-lint: allow(relaxed-ordering-audit, reason = "single-word gauge overwrite; last-writer-wins is the metric's semantics")
         self.bits.store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> f64 {
+        // lsq-lint: allow(relaxed-ordering-audit, reason = "exposition snapshot; staleness is acceptable, no acquire edge needed")
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
 }
@@ -114,24 +123,26 @@ impl HistogramMetric {
         // `bounds.len()` for +Inf — which is exactly the stats
         // histogram's overflow clamp.
         let idx = self.bounds.partition_point(|&b| b < value);
+        // lsq-lint: allow(relaxed-ordering-audit, reason = "sum counter is independent of the bucket mutex; scrape tolerates skew")
         self.sum.fetch_add(value, Ordering::Relaxed);
-        self.inner.lock().expect("histogram poisoned").record(idx);
+        self.inner.lock_unpoisoned().record(idx);
     }
 
     /// Total number of observations.
     pub fn count(&self) -> u64 {
-        self.inner.lock().expect("histogram poisoned").count()
+        self.inner.lock_unpoisoned().count()
     }
 
     /// Sum of all observations.
     pub fn sum(&self) -> u64 {
+        // lsq-lint: allow(relaxed-ordering-audit, reason = "exposition snapshot; staleness is acceptable, no acquire edge needed")
         self.sum.load(Ordering::Relaxed)
     }
 
     /// Cumulative counts per bound (Prometheus `le` buckets), excluding
     /// the implicit `+Inf` bucket (that is [`HistogramMetric::count`]).
     pub fn cumulative(&self) -> Vec<(u64, u64)> {
-        let h = self.inner.lock().expect("histogram poisoned");
+        let h = self.inner.lock_unpoisoned();
         let mut acc = 0;
         self.bounds
             .iter()
@@ -265,7 +276,7 @@ impl Metrics {
             .iter()
             .map(|(k, v)| (k.to_string(), v.to_string()))
             .collect();
-        let mut families = self.families.lock().expect("registry poisoned");
+        let mut families = self.families.lock_unpoisoned();
         let family = match families.iter_mut().find(|f| f.name == name) {
             Some(f) => f,
             None => {
@@ -274,6 +285,7 @@ impl Metrics {
                     help: help.to_string(),
                     series: Vec::new(),
                 });
+                // lsq-lint: allow(no-unwrap-in-lib, reason = "the family was pushed on the previous line")
                 families.last_mut().expect("just pushed")
             }
         };
@@ -295,7 +307,7 @@ impl Metrics {
     /// Renders the whole registry in Prometheus text format 0.0.4.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let families = self.families.lock().expect("registry poisoned");
+        let families = self.families.lock_unpoisoned();
         for family in families.iter() {
             let kind = match family.series.first() {
                 Some((_, h)) => h.kind(),

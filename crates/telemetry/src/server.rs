@@ -65,6 +65,7 @@ impl MetricsServer {
 
 impl Drop for MetricsServer {
     fn drop(&mut self) {
+        // lsq-lint: allow(relaxed-ordering-audit, reason = "stop flag; join() below is the synchronization point")
         self.shutdown.store(true, Ordering::Relaxed);
         if let Some(t) = self.thread.take() {
             let _ = t.join();
@@ -73,6 +74,7 @@ impl Drop for MetricsServer {
 }
 
 fn accept_loop(listener: TcpListener, metrics: Arc<Metrics>, jobs: JobsFn, stop: Arc<AtomicBool>) {
+    // lsq-lint: allow(relaxed-ordering-audit, reason = "stop flag polled each accept tick; no data is published through it")
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {

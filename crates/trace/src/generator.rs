@@ -86,6 +86,7 @@ impl TraceGenerator {
     }
 
     fn address_for(&mut self, inst: &StaticInst) -> Addr {
+        // lsq-lint: allow(no-unwrap-in-lib, reason = "the generator attaches a pattern to every memory instruction it emits")
         match inst.pattern.expect("memory instruction has a pattern") {
             AccessPattern::Stream { region } => {
                 let idx = region % self.stream_cursors.len();

@@ -42,6 +42,7 @@ impl Hasher for FastHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for c in &mut chunks {
+            // lsq-lint: allow(no-unwrap-in-lib, reason = "chunks_exact(8) yields exactly 8-byte slices")
             self.write_u64(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
         }
         let rest = chunks.remainder();

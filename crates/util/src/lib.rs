@@ -9,6 +9,10 @@
 //! bit-for-bit reproducible across platforms and runs. This is why the
 //! workspace does not depend on the `rand` crate.
 //!
+//! [`knobs`] is the central registry of `LSQ_*` environment variables:
+//! every knob the workspace reads is declared there and read through
+//! its accessors (enforced by the `lsq-lint` `knob-registry` rule).
+//!
 //! # Examples
 //!
 //! ```
@@ -20,8 +24,10 @@
 //! ```
 
 pub mod hash;
+pub mod knobs;
 pub mod ring;
 pub mod rng;
+pub mod sync;
 
 pub use hash::{FastHashMap, FastHashSet, FastHasher};
 pub use ring::RingQueue;

@@ -1,0 +1,47 @@
+//! Poison-tolerant locking.
+//!
+//! The workspace's mutexes guard plain data (caches, counters, metric
+//! families) whose invariants hold between every two statements, so a
+//! panic on another thread never leaves them half-updated in a way that
+//! matters. [`lock`] therefore recovers the guard from a poisoned
+//! mutex instead of propagating the panic — matching the semantics
+//! `std` adopted for its non-poisoning mutex types — and keeps library
+//! code free of `expect("poisoned")` noise (the `no-unwrap-in-lib`
+//! lint rule).
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the guard if a panicking thread poisoned it.
+pub fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Method-call form of [`lock`], so call sites read like `Mutex::lock`.
+pub trait MutexExt<T: ?Sized> {
+    /// Locks, recovering the guard from a poisoned mutex.
+    fn lock_unpoisoned(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T: ?Sized> MutexExt<T> for Mutex<T> {
+    fn lock_unpoisoned(&self) -> MutexGuard<'_, T> {
+        lock(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_recovers_from_poison() {
+        let m = std::sync::Arc::new(Mutex::new(7u32));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().expect("first lock");
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock(&m), 7);
+    }
+}

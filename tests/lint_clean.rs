@@ -1,0 +1,37 @@
+//! Tier-1 gate: the workspace must satisfy its own architectural
+//! linter (`crates/lint`). A violation anywhere in the tree — an
+//! allocation on a marked hot path, an unregistered `LSQ_*` knob, a
+//! non-trivial `Nop*` impl, a bare `unwrap()` in a library crate —
+//! fails `cargo test`, not just a separately-run CI job.
+
+use std::path::Path;
+
+/// The workspace root: this integration test lives in `<root>/tests/`.
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let diags = lsq_lint::lint_workspace(workspace_root()).expect("lint walk succeeds");
+    assert!(
+        diags.is_empty(),
+        "lsq-lint found {} violation(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn lint_self_check_passes() {
+    let failures = lsq_lint::self_check();
+    assert!(
+        failures.is_empty(),
+        "lint self-check failed:\n{}",
+        failures.join("\n")
+    );
+}
