@@ -150,6 +150,52 @@ impl DiffReport {
         !self.geomean_regressed && self.deltas.iter().all(|d| !d.regressed)
     }
 
+    /// Machine-readable comparison for `bench-diff --json`: the same
+    /// content as [`DiffReport::render`] plus the thresholds the gate
+    /// ran under, so a CI consumer can archive the verdict without
+    /// re-deriving the configuration.
+    pub fn to_json(&self, opts: &DiffOptions) -> Json {
+        let jobs: Vec<Json> = self
+            .deltas
+            .iter()
+            .map(|d| {
+                Json::obj(vec![
+                    ("bench", Json::from(d.job.bench.as_str())),
+                    ("config", Json::from(d.job.config.as_str())),
+                    ("before_mips", Json::from(d.before_mips)),
+                    ("after_mips", Json::from(d.job.sim_mips)),
+                    ("wall_nanos", Json::from(d.job.wall_nanos)),
+                    ("ratio", Json::from(d.ratio)),
+                    ("regressed", Json::from(d.regressed)),
+                    ("noisy", Json::from(d.noisy)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("ok", Json::from(self.ok())),
+            ("geomean_ratio", Json::from(self.geomean_ratio)),
+            ("geomean_regressed", Json::from(self.geomean_regressed)),
+            (
+                "gates",
+                Json::obj(vec![
+                    ("geomean_tolerance", Json::from(opts.geomean_tolerance)),
+                    ("job_tolerance", Json::from(opts.job_tolerance)),
+                    ("min_wall_nanos", Json::from(opts.min_wall_nanos)),
+                ]),
+            ),
+            ("jobs", Json::Arr(jobs)),
+            (
+                "unmatched",
+                Json::Arr(
+                    self.unmatched
+                        .iter()
+                        .map(|s| Json::from(s.as_str()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
     /// Human-readable comparison table plus verdict.
     pub fn render(&self, opts: &DiffOptions) -> String {
         let mut out = String::new();
@@ -378,6 +424,41 @@ mod tests {
             .unwrap_err()
             .contains("sim_mips"));
         assert!(BenchReport::parse("not json").is_err());
+    }
+
+    #[test]
+    fn json_output_carries_verdict_jobs_and_gates() {
+        let before = report(&[("gzip", "pair", 2.0, LONG), ("old", "pair", 1.0, LONG)]);
+        let after = report(&[("gzip", "pair", 1.8, LONG), ("new", "pair", 1.0, LONG)]);
+        let opts = DiffOptions::default();
+        let d = diff(&before, &after, &opts);
+        // Render and reparse: the CLI's --json output must be valid JSON
+        // whose verdict matches `ok()`.
+        let doc = Json::parse(&d.to_json(&opts).to_string()).expect("to_json emits valid JSON");
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(d.ok()));
+        assert_eq!(
+            doc.get("geomean_ratio").and_then(Json::as_f64),
+            Some(d.geomean_ratio)
+        );
+        let jobs = doc.get("jobs").and_then(Json::as_arr).expect("jobs array");
+        assert_eq!(jobs.len(), 1, "only matched jobs are compared");
+        assert_eq!(jobs[0].get("bench").and_then(Json::as_str), Some("gzip"));
+        assert_eq!(jobs[0].get("after_mips").and_then(Json::as_f64), Some(1.8));
+        assert_eq!(
+            jobs[0].get("regressed").and_then(Json::as_bool),
+            Some(false)
+        );
+        assert_eq!(
+            doc.get("unmatched").and_then(Json::as_arr).map(|a| a.len()),
+            Some(2),
+            "both one-sided jobs are listed"
+        );
+        assert_eq!(
+            doc.get("gates")
+                .and_then(|g| g.get("geomean_tolerance"))
+                .and_then(Json::as_f64),
+            Some(opts.geomean_tolerance)
+        );
     }
 
     #[test]

@@ -16,13 +16,15 @@
 //! * `--tolerance <frac>`      geomean gate (default 0.05 = 5%)
 //! * `--job-tolerance <frac>`  per-job gate (default 0.25 = 25%)
 //! * `--min-wall-ms <n>`       per-job gate wall floor (default 50)
+//! * `--json`                  emit the comparison as JSON on stdout
+//!   (exit code still carries the verdict)
 
 use lsq_experiments::benchdiff::{diff, BenchReport, DiffOptions};
 
 fn usage(msg: &str) -> ! {
     eprintln!(
         "error: {msg}\n\nusage: bench-diff <before.json> <after.json> \
-         [--tolerance <frac>] [--job-tolerance <frac>] [--min-wall-ms <n>]"
+         [--tolerance <frac>] [--job-tolerance <frac>] [--min-wall-ms <n>] [--json]"
     );
     std::process::exit(2);
 }
@@ -37,6 +39,7 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut opts = DiffOptions::default();
+    let mut json = false;
     let mut i = 0;
     while i < argv.len() {
         let need = |i: &mut usize| -> &str {
@@ -65,6 +68,10 @@ fn main() {
                     .unwrap_or_else(|_| usage("bad --min-wall-ms"));
                 opts.min_wall_nanos = ms * 1_000_000;
             }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
             flag if flag.starts_with("--") => usage(&format!("unknown flag {flag}")),
             path => {
                 paths.push(path.to_string());
@@ -78,15 +85,19 @@ fn main() {
 
     let before = load(before_path);
     let after = load(after_path);
-    println!(
-        "before: {} (geomean {:.2} sim-MIPS, rev {})",
-        before_path, before.geomean_sim_mips, before.git_rev
-    );
-    println!(
-        "after:  {} (geomean {:.2} sim-MIPS, rev {})",
-        after_path, after.geomean_sim_mips, after.git_rev
-    );
     let report = diff(&before, &after, &opts);
-    print!("{}", report.render(&opts));
+    if json {
+        println!("{}", report.to_json(&opts));
+    } else {
+        println!(
+            "before: {} (geomean {:.2} sim-MIPS, rev {})",
+            before_path, before.geomean_sim_mips, before.git_rev
+        );
+        println!(
+            "after:  {} (geomean {:.2} sim-MIPS, rev {})",
+            after_path, after.geomean_sim_mips, after.git_rev
+        );
+        print!("{}", report.render(&opts));
+    }
     std::process::exit(if report.ok() { 0 } else { 1 });
 }

@@ -46,7 +46,7 @@ use crate::runner::RunSpec;
 use crate::telemetry;
 use lsq_core::LsqConfig;
 use lsq_obs::Json;
-use lsq_pipeline::{CpiStack, PhaseProfile, SimConfig, SimResult};
+use lsq_pipeline::{CpiStack, PhaseProfile, SimConfig, SimResult, StageLatency};
 use lsq_util::sync::MutexExt;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{IsTerminal, Write};
@@ -115,6 +115,7 @@ struct JobRecord {
     capped: bool,
     profile: Option<PhaseProfile>,
     cpi_stack: Option<CpiStack>,
+    stage_latency: Option<StageLatency>,
 }
 
 impl JobRecord {
@@ -139,6 +140,7 @@ impl JobRecord {
             capped: r.hit_cycle_cap,
             profile: r.profile.clone(),
             cpi_stack: r.cpi_stack.clone(),
+            stage_latency: r.stage_latency.clone(),
         }
     }
 
@@ -188,6 +190,13 @@ impl JobRecord {
             (
                 "cpi_stack",
                 match &self.cpi_stack {
+                    Some(s) => s.to_json(),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "stage_latency",
+                match &self.stage_latency {
                     Some(s) => s.to_json(),
                     None => Json::Null,
                 },
@@ -737,6 +746,10 @@ mod tests {
         assert!(
             matches!(records[0].get("cpi_stack"), Some(Json::Null)),
             "cpi_stack field present but null without LSQ_ACCOUNTING"
+        );
+        assert!(
+            matches!(records[0].get("stage_latency"), Some(Json::Null)),
+            "stage_latency field present but null without LSQ_PIPEVIEW"
         );
     }
 

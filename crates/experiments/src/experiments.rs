@@ -8,7 +8,11 @@
 
 use crate::runner::{int_fp_means, run_matrix, RunSpec};
 use lsq_core::{LoadOrderPolicy, LsqConfig, PredictorKind, SegAlloc};
-use lsq_pipeline::{SimConfig, SimResult};
+use lsq_obs::NopTracer;
+use lsq_pipeline::{
+    CriticalPath, NopAccountant, NopProfiler, PipeviewRecorder, SimConfig, SimResult, Simulator,
+    CP_COMPONENTS,
+};
 use lsq_stats::Table;
 use lsq_trace::BenchProfile;
 
@@ -801,6 +805,114 @@ pub fn cpi_stack(spec: RunSpec) -> Artifact {
     }
 }
 
+// ----------------------------------------------------------------------
+// Critical path — longest dependency chain per design point
+// ----------------------------------------------------------------------
+
+/// Runs one `(benchmark, design point)` pair with a lifecycle recorder
+/// attached and analyzes the critical path over the measured window
+/// (warm-up records are drained and discarded first). Returns `None`
+/// when no committed instruction was recorded.
+fn critical_path_for(bench: &str, lsq: LsqConfig, spec: RunSpec) -> Option<CriticalPath> {
+    // lsq-lint: allow(no-unwrap-in-lib, reason = "benchmarks come from BenchProfile's own table")
+    let profile = BenchProfile::named(bench).expect("known benchmark");
+    let mut stream = profile.stream(spec.seed);
+    // Hold the whole measured window so the chain walk never hits an
+    // evicted producer mid-window.
+    let cap = usize::try_from(spec.instrs).unwrap_or(usize::MAX).max(4096);
+    let mut sim = Simulator::with_lifecycle(
+        SimConfig::with_lsq(lsq),
+        NopTracer,
+        NopProfiler,
+        NopAccountant,
+        PipeviewRecorder::new(cap),
+    );
+    sim.prewarm(&stream.data_regions(), stream.code_region());
+    if spec.warmup > 0 {
+        let _ = sim.run(&mut stream, spec.warmup);
+        let _ = sim.take_pipeview_records();
+    }
+    let _ = sim.run(&mut stream, spec.instrs);
+    let records = sim.take_pipeview_records()?;
+    CriticalPath::analyze(&records)
+}
+
+/// Supplementary (not in the paper): the longest producer→consumer
+/// dependency chain of the measured window, per benchmark, for the
+/// 2-ported baseline and the paper's three techniques. Every cycle of
+/// the chain is attributed to exactly one component, so the component
+/// columns of a row sum to 100% of `cycles` — the per-instruction
+/// analogue of the CPI stack's partition invariant.
+pub fn critical_path(spec: RunSpec) -> Artifact {
+    let cfgs = [
+        LsqConfig::default(),
+        LsqConfig {
+            predictor: PredictorKind::Pair,
+            ..LsqConfig::default()
+        },
+        LsqConfig::with_techniques(1),
+        LsqConfig::segmented(SegAlloc::SelfCircular),
+    ];
+    let designs = ["conv2", "pair", "lb1", "seg"];
+    let benches: Vec<&'static str> = BenchProfile::all().iter().map(|p| p.name).collect();
+    // In-process recorded runs (the engine's cache has no lifecycle
+    // dimension), fanned out on the work-stealing pool.
+    let tasks: Vec<_> = benches
+        .iter()
+        .flat_map(|&bench| {
+            cfgs.iter().zip(designs).map(move |(&lsq, design)| {
+                move || (bench, design, critical_path_for(bench, lsq, spec))
+            })
+        })
+        .collect();
+    let mut header = vec!["bench", "design", "cycles", "instrs"];
+    header.extend(CP_COMPONENTS);
+    let mut t = Table::new(header);
+    for (bench, design, cp) in crate::engine::run_tasks(tasks) {
+        let Some(cp) = cp else { continue };
+        assert_eq!(
+            cp.total(),
+            cp.length,
+            "critical-path components must sum to the chain length"
+        );
+        let mut row = vec![
+            bench.to_string(),
+            design.to_string(),
+            cp.length.to_string(),
+            cp.instructions.to_string(),
+        ];
+        let denom = cp.length.max(1) as f64;
+        for &cycles in &cp.components {
+            row.push(format!("{:.1}%", 100.0 * cycles as f64 / denom));
+        }
+        t.row(row);
+    }
+    Artifact {
+        id: "Critical path",
+        title: "Longest dependency chain of the measured window per benchmark: \
+                2-ported conventional baseline vs. the paper's three techniques \
+                (pair predictor, 1-entry load buffer, segmented SQ)",
+        table: t,
+        notes: vec![
+            "The chain walks backwards from the last-completing committed \
+             instruction, always following the producer whose result arrived \
+             last; each link's interval is attributed to exactly one component, \
+             so the component columns sum to 100% of `cycles`."
+                .into(),
+            "Components: frontend = fetch-starved; schedule = scheduler/structural \
+             wait after data was ready; sq_search = segmented SQ-search extra \
+             cycles; exec = non-load execution; mem_l1/l2/dram = load latency by \
+             the deepest level reached."
+                .into(),
+            "Read the techniques against the baseline: segmented SQ moves chain \
+             cycles into `sq_search`; a long `mem_dram` share means the chain is \
+             memory-bound and LSQ techniques mostly shift the non-memory \
+             remainder."
+                .into(),
+        ],
+    }
+}
+
 /// Every artifact name accepted by [`by_name`], in paper order — the
 /// menu printed by `cargo run -p lsq-experiments --bin artifact`.
 pub const ARTIFACT_NAMES: &[&str] = &[
@@ -819,6 +931,7 @@ pub const ARTIFACT_NAMES: &[&str] = &[
     "fig12",
     "supplementary",
     "cpi_stack",
+    "critical_path",
 ];
 
 /// Runs the single artifact called `name` (one of [`ARTIFACT_NAMES`]);
@@ -840,6 +953,7 @@ pub fn by_name(name: &str, spec: RunSpec) -> Option<Artifact> {
         "fig12" => fig12(spec),
         "supplementary" => supplementary_ssit_pressure(spec),
         "cpi_stack" => cpi_stack(spec),
+        "critical_path" => critical_path(spec),
         _ => return None,
     })
 }
@@ -848,7 +962,10 @@ pub fn by_name(name: &str, spec: RunSpec) -> Option<Artifact> {
 /// it flips `LSQ_ACCOUNTING` for its matrix, and the engine's result
 /// cache (shared across artifacts in one process, keyed without an
 /// accounting dimension) would leak stacks into — or hide them from —
-/// the other artifacts' runs. Request it explicitly by name.
+/// the other artifacts' runs. `critical_path` is excluded for the same
+/// shape of reason: its runs bypass the cache entirely (lifecycle
+/// records don't travel through cached [`SimResult`]s), so batching it
+/// here would only pad `all()`'s runtime. Request both by name.
 pub fn all(spec: RunSpec) -> Vec<Artifact> {
     let predictor_rows = predictor_matrix(spec);
     vec![
@@ -881,7 +998,7 @@ mod tests {
 
     #[test]
     fn by_name_covers_every_artifact_name() {
-        assert_eq!(ARTIFACT_NAMES.len(), 15);
+        assert_eq!(ARTIFACT_NAMES.len(), 16);
         assert!(by_name("nonesuch", TINY).is_none());
         let a = by_name("table1", TINY).expect("table1 exists");
         assert_eq!(a.id, "Table 1");

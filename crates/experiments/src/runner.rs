@@ -9,11 +9,12 @@
 use crate::engine::{self, Job};
 use lsq_core::LsqConfig;
 use lsq_obs::{
-    CpiStackSampler, NopTracer, Sampler, SharedTracer, TraceBuffer, TraceConfig, Tracer,
+    CpiStackSampler, NopTracer, PipeRecord, PipeviewConfig, Sampler, SharedTracer, TraceBuffer,
+    TraceConfig, Tracer,
 };
 use lsq_pipeline::{
-    CycleAccountant, NopAccountant, NopProfiler, Profiler, SimConfig, SimResult, Simulator,
-    SlotAccountant, WallProfiler,
+    CycleAccountant, Lifecycle, NopAccountant, NopLifecycle, NopProfiler, PipeviewRecorder,
+    Profiler, SimConfig, SimResult, Simulator, SlotAccountant, WallProfiler,
 };
 use lsq_trace::BenchProfile;
 use std::path::{Path, PathBuf};
@@ -127,8 +128,9 @@ fn numbered_path(path: &Path, n: u64) -> PathBuf {
 /// `wall_nanos`, it is host-side timing and not windowed by the diff)
 /// and the warm-up-differenced CPI stack (a simulated quantity, so it
 /// *is* windowed by the diff).
+#[allow(clippy::type_complexity)]
 #[allow(clippy::too_many_arguments)]
-fn simulate_parts<T: Tracer + Clone, P: Profiler, A: CycleAccountant>(
+fn simulate_parts<T: Tracer + Clone, P: Profiler, A: CycleAccountant, L: Lifecycle>(
     bench: &str,
     lsq: LsqConfig,
     scaled: bool,
@@ -136,8 +138,14 @@ fn simulate_parts<T: Tracer + Clone, P: Profiler, A: CycleAccountant>(
     tracer: T,
     profiler: P,
     acct: A,
+    life: L,
     sample_window: Option<u64>,
-) -> (SimResult, Option<Sampler>, Option<CpiStackSampler>) {
+) -> (
+    SimResult,
+    Option<Sampler>,
+    Option<CpiStackSampler>,
+    Option<(Vec<PipeRecord>, u64)>,
+) {
     // lsq-lint: allow(no-unwrap-in-lib, reason = "documented # Panics contract: bench must be one of the 18 profile names")
     let profile = BenchProfile::named(bench).unwrap_or_else(|| panic!("unknown benchmark {bench}"));
     let cfg = if scaled {
@@ -146,7 +154,7 @@ fn simulate_parts<T: Tracer + Clone, P: Profiler, A: CycleAccountant>(
         SimConfig::with_lsq(lsq)
     };
     let mut stream = profile.stream(spec.seed);
-    let mut sim = Simulator::with_all(cfg, tracer, profiler, acct);
+    let mut sim = Simulator::with_lifecycle(cfg, tracer, profiler, acct, life);
     if let Some(window) = sample_window {
         sim.set_sampler(Sampler::new(window));
     }
@@ -159,14 +167,15 @@ fn simulate_parts<T: Tracer + Clone, P: Profiler, A: CycleAccountant>(
     let result = diff_results(&before, &after);
     let sampler = sim.take_sampler();
     let cpi_sampler = sim.take_cpi_sampler();
-    (result, sampler, cpi_sampler)
+    let dropped = sim.pipeview_dropped();
+    let pipeview = sim.take_pipeview_records().map(|recs| (recs, dropped));
+    (result, sampler, cpi_sampler, pipeview)
 }
 
-/// [`simulate_parts`] with the cycle accountant chosen by
-/// `LSQ_ACCOUNTING` / `LSQ_ACCOUNTING_CSV`: disabled runs use the
-/// zero-cost [`NopAccountant`]; accounted runs carry a
-/// [`SlotAccountant`] and, when a CSV path is configured, write the
-/// windowed per-component timeline on the way out.
+/// [`simulate_with_lifecycle`] with the lifecycle recorder chosen by
+/// `LSQ_PIPEVIEW`: recorded runs carry a [`PipeviewRecorder`] and write
+/// the pipeline-viewer log on the way out; disabled runs use the
+/// zero-cost [`NopLifecycle`].
 fn simulate<T: Tracer + Clone, P: Profiler>(
     bench: &str,
     lsq: LsqConfig,
@@ -176,8 +185,66 @@ fn simulate<T: Tracer + Clone, P: Profiler>(
     profiler: P,
     sample_window: Option<u64>,
 ) -> (SimResult, Option<Sampler>) {
+    let Some(pv) = PipeviewConfig::from_env() else {
+        let (result, sampler, _) = simulate_with_lifecycle(
+            bench,
+            lsq,
+            scaled,
+            spec,
+            tracer,
+            profiler,
+            NopLifecycle,
+            sample_window,
+        );
+        return (result, sampler);
+    };
+    // Parallel jobs write to distinct paths: job 0 gets the configured
+    // path verbatim, later ones a `.N` suffix.
+    static PIPEVIEW_JOBS: AtomicU64 = AtomicU64::new(0);
+    let pv = pv.for_job(PIPEVIEW_JOBS.fetch_add(1, Ordering::Relaxed));
+    let (result, sampler, pipeview) = simulate_with_lifecycle(
+        bench,
+        lsq,
+        scaled,
+        spec,
+        tracer,
+        profiler,
+        PipeviewRecorder::new(pv.capacity),
+        sample_window,
+    );
+    if let Some((records, dropped)) = pipeview {
+        warn_on_pipeview_drops(bench, &records, dropped, pv.capacity);
+        match pv.write(&records) {
+            Ok(path) => eprintln!("pipeview: {bench} -> {}", path.display()),
+            Err(e) => eprintln!(
+                "warning: could not write LSQ_PIPEVIEW={}: {e}",
+                pv.path.display()
+            ),
+        }
+    }
+    (result, sampler)
+}
+
+/// [`simulate_parts`] with the cycle accountant chosen by
+/// `LSQ_ACCOUNTING` / `LSQ_ACCOUNTING_CSV`: disabled runs use the
+/// zero-cost [`NopAccountant`]; accounted runs carry a
+/// [`SlotAccountant`] and, when a CSV path is configured, write the
+/// windowed per-component timeline on the way out. Returns the drained
+/// lifecycle records (and their drop count) alongside the result.
+#[allow(clippy::type_complexity)]
+#[allow(clippy::too_many_arguments)]
+fn simulate_with_lifecycle<T: Tracer + Clone, P: Profiler, L: Lifecycle>(
+    bench: &str,
+    lsq: LsqConfig,
+    scaled: bool,
+    spec: RunSpec,
+    tracer: T,
+    profiler: P,
+    life: L,
+    sample_window: Option<u64>,
+) -> (SimResult, Option<Sampler>, Option<(Vec<PipeRecord>, u64)>) {
     if !accounting_enabled() {
-        let (result, sampler, _) = simulate_parts(
+        let (result, sampler, _, pipeview) = simulate_parts(
             bench,
             lsq,
             scaled,
@@ -185,16 +252,17 @@ fn simulate<T: Tracer + Clone, P: Profiler>(
             tracer,
             profiler,
             NopAccountant,
+            life,
             sample_window,
         );
-        return (result, sampler);
+        return (result, sampler, pipeview);
     }
     let csv = accounting_csv_from_env();
     let acct = match &csv {
         Some((_, window)) => SlotAccountant::with_sampler(*window),
         None => SlotAccountant::new(),
     };
-    let (result, sampler, cpi_sampler) = simulate_parts(
+    let (result, sampler, cpi_sampler, pipeview) = simulate_parts(
         bench,
         lsq,
         scaled,
@@ -202,6 +270,7 @@ fn simulate<T: Tracer + Clone, P: Profiler>(
         tracer,
         profiler,
         acct,
+        life,
         sample_window,
     );
     if let (Some((path, _)), Some(cpi)) = (csv, cpi_sampler) {
@@ -215,7 +284,22 @@ fn simulate<T: Tracer + Clone, P: Profiler>(
             ),
         }
     }
-    (result, sampler)
+    (result, sampler, pipeview)
+}
+
+/// Surfaces pipeview-ring overflow at sink flush: a pipeline-viewer log
+/// missing its oldest records is silently misleading, so drops cost a
+/// stderr warning and a bump of the `lsq_pipeview_dropped_total` metric.
+fn warn_on_pipeview_drops(bench: &str, records: &[PipeRecord], dropped: u64, capacity: usize) {
+    if dropped > 0 {
+        crate::telemetry::global().pipeview_drops(dropped);
+        eprintln!(
+            "warning: {bench}: pipeview ring dropped {dropped} of {} records; \
+             the written log is truncated (raise LSQ_PIPEVIEW_CAP, \
+             currently {capacity})",
+            records.len() as u64 + dropped,
+        );
+    }
 }
 
 /// The uncached simulation underneath [`run_design_point`]: warm up,
@@ -416,6 +500,13 @@ pub fn diff_results(before: &SimResult, after: &SimResult) -> SimResult {
         (Some(a), None) => Some(a.clone()),
         _ => None,
     };
+    // Stage-latency histograms are cumulative over committed
+    // instructions; the same windowing applies.
+    r.stage_latency = match (&after.stage_latency, &before.stage_latency) {
+        (Some(a), Some(b)) => Some(a.minus(b)),
+        (Some(a), None) => Some(a.clone()),
+        _ => None,
+    };
     r
 }
 
@@ -599,6 +690,7 @@ mod tests {
             sim_mips: 0.0,
             profile: None,
             cpi_stack: None,
+            stage_latency: None,
         }
     }
 

@@ -12,10 +12,30 @@
 //! the cost is nil next to a simulation job.
 
 use lsq_obs::Json;
-use lsq_pipeline::{CpiStack, PhaseProfile, SimResult};
+use lsq_pipeline::{CpiStack, PhaseProfile, SimResult, StageLatency};
 use lsq_telemetry::{Counter, FloatGauge, Gauge, HistogramMetric, Metrics, MetricsServer};
 use lsq_util::sync::MutexExt;
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Exposition bounds (cycles) for the `lsq_stage_latency_cycles`
+/// histograms; the simulator records exact per-cycle buckets up to
+/// [`lsq_pipeline::STAGE_BUCKETS`], folded into these on job finish.
+const STAGE_LATENCY_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64];
+
+/// The repository commit this process was built or launched from, for
+/// the `lsq_build_info` gauge; `unknown` outside a git checkout.
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
 
 /// Live view of one scheduler worker, kept for `/jobs`.
 #[derive(Debug, Default, Clone)]
@@ -41,6 +61,9 @@ pub struct EngineTelemetry {
     sim_mips: Arc<FloatGauge>,
     job_wall_ms: Arc<HistogramMetric>,
     trace_events_dropped: Arc<Counter>,
+    pipeview_dropped: Arc<Counter>,
+    uptime: Arc<FloatGauge>,
+    start: Instant,
     workers: Mutex<Vec<WorkerView>>,
     profile: Mutex<Option<PhaseProfile>>,
     stack: Mutex<Option<CpiStack>>,
@@ -89,11 +112,38 @@ impl EngineTelemetry {
                 "lsq_trace_events_dropped_total",
                 "Trace-ring events evicted on overflow (raise LSQ_TRACE_CAP).",
             ),
+            pipeview_dropped: m.counter(
+                "lsq_pipeview_dropped_total",
+                "Pipeview-ring records evicted on overflow (raise LSQ_PIPEVIEW_CAP).",
+            ),
+            uptime: {
+                m.gauge_with(
+                    "lsq_build_info",
+                    "Build identity: constant 1, labelled with the crate \
+                     version and the git commit.",
+                    &[
+                        ("version", env!("CARGO_PKG_VERSION")),
+                        ("git_sha", &git_sha()),
+                    ],
+                )
+                .set(1);
+                m.float_gauge(
+                    "lsq_uptime_seconds",
+                    "Seconds since this process's telemetry hub started; \
+                     refreshed on job boundaries and /jobs snapshots.",
+                )
+            },
+            start: Instant::now(),
             workers: Mutex::new(Vec::new()),
             profile: Mutex::new(None),
             stack: Mutex::new(None),
             metrics: m,
         }
+    }
+
+    /// Refreshes the `lsq_uptime_seconds` gauge.
+    fn tick_uptime(&self) {
+        self.uptime.set(self.start.elapsed().as_secs_f64());
     }
 
     /// The underlying registry (what `/metrics` renders).
@@ -142,6 +192,7 @@ impl EngineTelemetry {
     /// A batch of `queued` fresh jobs is about to run on `workers`
     /// workers.
     pub(crate) fn batch_started(&self, queued: usize, workers: usize) {
+        self.tick_uptime();
         self.jobs_queued.add(queued as i64);
         let mut views = self.workers.lock_unpoisoned();
         if views.len() < workers {
@@ -170,6 +221,7 @@ impl EngineTelemetry {
     /// job's warm-up budget (the engine's sim-MIPS convention counts
     /// warm-up instructions as simulated work).
     pub(crate) fn job_finished(&self, worker: usize, result: &SimResult, spec_warmup: u64) {
+        self.tick_uptime();
         self.jobs_running.sub(1);
         self.jobs_done.inc();
         self.sim_instrs.add(spec_warmup + result.committed);
@@ -185,6 +237,9 @@ impl EngineTelemetry {
         }
         if let Some(stack) = &result.cpi_stack {
             self.merge_stack(stack);
+        }
+        if let Some(stages) = &result.stage_latency {
+            self.merge_stage_latency(stages);
         }
         let mut views = self.workers.lock_unpoisoned();
         if let Some(v) = views.get_mut(worker) {
@@ -204,6 +259,31 @@ impl EngineTelemetry {
     /// sink flush (see the warning in `runner`).
     pub(crate) fn trace_drops(&self, dropped: u64) {
         self.trace_events_dropped.add(dropped);
+    }
+
+    /// Pipeview-ring overflow: `dropped` finished lifecycle records
+    /// were evicted before the log flush (see the warning in `runner`).
+    pub(crate) fn pipeview_drops(&self, dropped: u64) {
+        self.pipeview_dropped.add(dropped);
+    }
+
+    /// Folds one job's stage-latency histograms into the
+    /// `lsq_stage_latency_cycles{stage=…}` exposition histograms.
+    fn merge_stage_latency(&self, stages: &StageLatency) {
+        for (name, h) in stages.stages() {
+            let metric = self.metrics.histogram_with(
+                "lsq_stage_latency_cycles",
+                "Per-stage instruction latency in cycles, from the \
+                 lifecycle recorder (LSQ_PIPEVIEW runs).",
+                STAGE_LATENCY_BOUNDS,
+                &[("stage", name)],
+            );
+            for (value, count) in h.iter() {
+                if count > 0 {
+                    metric.record_n(value as u64, count);
+                }
+            }
+        }
     }
 
     /// Folds one job's phase profile into the process aggregate and the
@@ -266,6 +346,7 @@ impl EngineTelemetry {
 
     /// The `/jobs` snapshot.
     pub fn jobs_json(&self) -> Json {
+        self.tick_uptime();
         let views = self.workers.lock_unpoisoned().clone();
         let workers: Vec<Json> = views
             .iter()

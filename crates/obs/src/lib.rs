@@ -37,6 +37,7 @@ pub mod config;
 pub mod cpisample;
 pub mod event;
 pub mod json;
+pub mod pipeview;
 pub mod registry;
 pub mod sample;
 pub mod tracer;
@@ -46,6 +47,10 @@ pub use config::{TraceConfig, TraceMode};
 pub use cpisample::{CpiStackSampler, CpiWindow};
 pub use event::{Event, MemOp, MissLevel, QueueSide, SquashCause, TimedEvent};
 pub use json::Json;
+pub use pipeview::{
+    parse_konata, parse_o3, parse_pipeview, to_konata, to_o3, ParsedInstr, PipeRecord,
+    PipeviewConfig, PipeviewMode, DEFAULT_PIPEVIEW_CAPACITY,
+};
 pub use registry::{Metric, MetricValue, Registry, Section};
 pub use sample::{SampleInput, SampleRow, Sampler};
 pub use tracer::{NopTracer, SharedTracer, TraceBuffer, Tracer, DEFAULT_RING_CAPACITY};

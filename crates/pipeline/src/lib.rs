@@ -23,6 +23,7 @@
 pub mod accounting;
 pub mod branch;
 pub mod config;
+pub mod lifecycle;
 pub mod profile;
 pub mod result;
 pub mod sim;
@@ -32,6 +33,10 @@ pub use accounting::{
 };
 pub use branch::HybridPredictor;
 pub use config::SimConfig;
+pub use lifecycle::{
+    CriticalPath, Lifecycle, NopLifecycle, PipeviewRecorder, StageLatency, CP_COMPONENTS,
+    STAGE_BUCKETS, STAGE_NAMES,
+};
 pub use profile::{NopProfiler, Phase, PhaseProfile, PhaseStat, Profiler, WallProfiler};
 pub use result::SimResult;
 pub use sim::Simulator;

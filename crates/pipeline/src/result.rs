@@ -1,6 +1,7 @@
 //! Results of a simulation run.
 
 use crate::accounting::CpiStack;
+use crate::lifecycle::StageLatency;
 use crate::profile::PhaseProfile;
 use lsq_core::LsqStats;
 
@@ -63,6 +64,10 @@ pub struct SimResult {
     /// (see [`crate::accounting`]). Fully deterministic — the stack's
     /// components sum exactly to `cycles × commit_width`.
     pub cpi_stack: Option<CpiStack>,
+    /// Per-stage latency histograms over committed instructions, `None`
+    /// unless a lifecycle recorder was attached (see
+    /// [`crate::lifecycle`]). Fully deterministic.
+    pub stage_latency: Option<StageLatency>,
 }
 
 impl SimResult {
@@ -215,6 +220,7 @@ mod tests {
             hit_cycle_cap: false,
             wall_nanos: 0,
             cpi_stack: None,
+            stage_latency: None,
             sim_mips: 0.0,
             profile: None,
         }

@@ -24,6 +24,7 @@
 use crate::accounting::{Component, CycleAccountant, NopAccountant};
 use crate::branch::HybridPredictor;
 use crate::config::SimConfig;
+use crate::lifecycle::{Lifecycle, NopLifecycle};
 use crate::profile::{NopProfiler, Phase, Profiler};
 use crate::result::SimResult;
 use lsq_core::{LoadIssue, Lsq, StoreDrain, StoreIssue};
@@ -113,11 +114,20 @@ struct Fetched {
 /// [`SlotAccountant`](crate::accounting::SlotAccountant) classifies
 /// every commit slot of every cycle into a CPI-stack component (see
 /// [`crate::accounting`]).
+///
+/// The `L` parameter is the instruction-lifecycle recorder, the fourth
+/// instance of the pattern: the default [`NopLifecycle`] makes every
+/// stamp site vanish under monomorphization, while
+/// [`PipeviewRecorder`](crate::lifecycle::PipeviewRecorder) captures
+/// each in-flight instruction's fetch/dispatch/issue/writeback/commit
+/// (or squash) cycles for pipeline-viewer logs, stage-latency
+/// histograms, and critical-path analysis (see [`crate::lifecycle`]).
 #[derive(Debug)]
 pub struct Simulator<
     T: Tracer = NopTracer,
     P: Profiler = NopProfiler,
     A: CycleAccountant = NopAccountant,
+    L: Lifecycle = NopLifecycle,
 > {
     cfg: SimConfig,
     lsq: Lsq<T>,
@@ -125,6 +135,7 @@ pub struct Simulator<
     tracer: T,
     profiler: P,
     acct: A,
+    life: L,
     sampler: Option<Sampler>,
     bp: HybridPredictor,
     rob: RingQueue<DynInst>,
@@ -240,15 +251,38 @@ impl<T: Tracer + Clone, P: Profiler> Simulator<T, P> {
 
 impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
     /// Builds a simulator with a trace sink, a self-profiler, and a
-    /// cycle accountant — the fully general constructor.
+    /// cycle accountant but no lifecycle recorder.
     ///
     /// # Panics
     ///
     /// Panics if the configuration fails [`SimConfig::validate`].
-    pub fn with_all(cfg: SimConfig, tracer: T, profiler: P, mut acct: A) -> Self {
+    pub fn with_all(cfg: SimConfig, tracer: T, profiler: P, acct: A) -> Self {
+        Self::with_lifecycle(cfg, tracer, profiler, acct, NopLifecycle)
+    }
+}
+
+impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant, L: Lifecycle> Simulator<T, P, A, L> {
+    /// Builds a simulator with a trace sink, a self-profiler, a cycle
+    /// accountant, and an instruction-lifecycle recorder — the fully
+    /// general constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SimConfig::validate`].
+    pub fn with_lifecycle(
+        cfg: SimConfig,
+        tracer: T,
+        profiler: P,
+        mut acct: A,
+        mut life: L,
+    ) -> Self {
         // lsq-lint: allow(no-unwrap-in-lib, reason = "constructor's documented # Panics contract: cfg must validate")
         cfg.validate().expect("valid simulator configuration");
         acct.init(cfg.commit_width as u64);
+        // The in-flight seq window is bounded by the ROB plus the fetch
+        // buffer (2 × fetch width); the recorder sizes its live array
+        // from this so direct mapping by seq is collision-free.
+        life.init(cfg.rob_entries + 2 * cfg.fetch_width + 1);
         Self {
             // lsq-lint: allow(no-unwrap-in-lib, reason = "cfg.validate() succeeded on the previous line")
             lsq: Lsq::with_tracer(cfg.lsq, tracer.clone()).expect("validated above"),
@@ -256,6 +290,7 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
             tracer,
             profiler,
             acct,
+            life,
             sampler: None,
             bp: HybridPredictor::new(),
             rob: RingQueue::new(cfg.rob_entries),
@@ -646,6 +681,9 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
         // lsq-lint: allow(no-unwrap-in-lib, reason = "the commit loop established this head; popping it cannot fail")
         let (s, e) = self.rob.pop().expect("retiring head");
         debug_assert_eq!(s, seq);
+        if self.life.enabled() {
+            self.life.commit(seq, self.cycle);
+        }
         if e.wakeup_extra > 0 {
             self.relax_late_wakeups(seq);
         }
@@ -734,9 +772,9 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
                         } else {
                             self.mem.data_access(e.instr.addr, false)
                         };
-                        // Cycle accounting: infer the deepest level the
-                        // access reached from its additive latency.
-                        let mem_level = if self.acct.enabled() {
+                        // Cycle accounting / lifecycle: infer the deepest
+                        // level the access reached from its additive latency.
+                        let mem_level = if self.acct.enabled() || self.life.enabled() {
                             let h = &self.cfg.hierarchy;
                             if li.forwarded_from.is_some() {
                                 0
@@ -751,11 +789,11 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
                             0
                         };
                         let acct_enabled = self.acct.enabled();
+                        let complete_at = self.cycle + u64::from(lat) + u64::from(li.extra_cycles);
                         // lsq-lint: allow(no-unwrap-in-lib, reason = "completion events reference only in-flight seqs resident in the ROB")
                         let entry = self.rob.get_mut(seq).expect("resident");
                         entry.state = State::Issued;
-                        entry.complete_at =
-                            self.cycle + u64::from(lat) + u64::from(li.extra_cycles);
+                        entry.complete_at = complete_at;
                         entry.wakeup_extra = if li.early_wakeup {
                             0
                         } else {
@@ -767,6 +805,15 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
                         }
                         self.dcache_used += 1;
                         *unit_left -= 1;
+                        if self.life.enabled() {
+                            self.life.issue(
+                                seq,
+                                self.cycle,
+                                complete_at,
+                                li.extra_cycles,
+                                mem_level,
+                            );
+                        }
                         true
                     }
                     stall => {
@@ -788,6 +835,9 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
                     entry.state = State::Issued;
                     entry.complete_at = self.cycle + 1;
                     *unit_left -= 1;
+                    if self.life.enabled() {
+                        self.life.issue(seq, self.cycle, self.cycle + 1, 0, 0);
+                    }
                     if let Some(victim) = violation {
                         *squash_request = Some((victim, SquashCause::MemOrder));
                     }
@@ -805,6 +855,9 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
                 entry.complete_at = self.cycle + u64::from(kind.exec_latency());
                 let complete_at = entry.complete_at;
                 *unit_left -= 1;
+                if self.life.enabled() {
+                    self.life.issue(seq, self.cycle, complete_at, 0, 0);
+                }
                 if kind.is_branch() && self.pending_redirect == Some(seq) {
                     // The mispredicted branch resolves: redirect fetch
                     // after the Table 1 penalty.
@@ -1086,6 +1139,9 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
                 // lsq-lint: allow(no-unwrap-in-lib, reason = "guarded by the fullness check above")
                 .expect("checked not full");
             debug_assert_eq!(seq, f.gseq);
+            if self.life.enabled() {
+                self.life.dispatch(seq, self.cycle, deps);
+            }
             match f.instr.kind {
                 InstrKind::Load => self.lsq.dispatch_load(seq, f.instr.pc, f.instr.addr),
                 InstrKind::Store => self.lsq.dispatch_store(seq, f.instr.pc, f.instr.addr),
@@ -1152,6 +1208,9 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
             }
             let gseq = self.next_fetch;
             self.next_fetch += 1;
+            if self.life.enabled() {
+                self.life.fetch(gseq, self.cycle, &instr);
+            }
             self.frontend.push_back(Fetched {
                 gseq,
                 instr,
@@ -1182,6 +1241,11 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
 
     fn squash_inner(&mut self, victim: u64, penalty: u64, cause: SquashCause) {
         self.violation_squashes += 1;
+        if self.life.enabled() {
+            // Terminate before the fetch rewind below: `next_fetch` is
+            // still the pre-squash frontier bounding the in-flight seqs.
+            self.life.squash(victim, self.next_fetch, self.cycle, cause);
+        }
         if self.tracer.enabled() {
             // The victim's PC must be read before the ROB truncation
             // removes the entry.
@@ -1290,8 +1354,20 @@ impl<T: Tracer + Clone, P: Profiler, A: CycleAccountant> Simulator<T, P, A> {
             sim_mips: 0.0,
             profile: self.profiler.report(),
             cpi_stack,
+            stage_latency: self.life.report(),
             hit_cycle_cap,
         }
+    }
+
+    /// Drains the lifecycle recorder's finished-record ring (oldest
+    /// first), or `None` when no recorder is attached.
+    pub fn take_pipeview_records(&mut self) -> Option<Vec<lsq_obs::PipeRecord>> {
+        self.life.take_records()
+    }
+
+    /// Finished lifecycle records evicted because the ring was full.
+    pub fn pipeview_dropped(&self) -> u64 {
+        self.life.dropped()
     }
 }
 

@@ -128,6 +128,17 @@ impl HistogramMetric {
         self.inner.lock_unpoisoned().record(idx);
     }
 
+    /// Records `n` observations of `value` in one registry visit — for
+    /// folding an already-bucketed histogram (e.g. a simulator
+    /// stage-latency histogram) into the exposition without `n` lock
+    /// round trips.
+    pub fn record_n(&self, value: u64, n: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        // lsq-lint: allow(relaxed-ordering-audit, reason = "sum counter is independent of the bucket mutex; scrape tolerates skew")
+        self.sum.fetch_add(value * n, Ordering::Relaxed);
+        self.inner.lock_unpoisoned().record_n(idx, n);
+    }
+
     /// Total number of observations.
     pub fn count(&self) -> u64 {
         self.inner.lock_unpoisoned().count()
@@ -257,7 +268,19 @@ impl Metrics {
     /// Registers (or finds) an unlabelled histogram with the given
     /// inclusive upper bounds (strictly increasing; `+Inf` is implicit).
     pub fn histogram(&self, name: &str, help: &str, bounds: &[u64]) -> Arc<HistogramMetric> {
-        match self.register(name, help, &[], || {
+        self.histogram_with(name, help, bounds, &[])
+    }
+
+    /// Registers (or finds) a labelled histogram with the given
+    /// inclusive upper bounds (strictly increasing; `+Inf` is implicit).
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        bounds: &[u64],
+        labels: &[(&str, &str)],
+    ) -> Arc<HistogramMetric> {
+        match self.register(name, help, labels, || {
             Handle::Hist(Arc::new(HistogramMetric::new(bounds)))
         }) {
             Handle::Hist(h) => h,

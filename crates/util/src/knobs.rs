@@ -72,6 +72,18 @@ pub const REGISTRY: &[Knob] = &[
         doc: "Serve live /metrics and /jobs on this `host:port` during engine runs.",
     },
     Knob {
+        name: "LSQ_PIPEVIEW",
+        kind: "path",
+        default: "unset",
+        doc: "Per-instruction pipeline-viewer log, `<path>[:konata|:o3]` (default format konata).",
+    },
+    Knob {
+        name: "LSQ_PIPEVIEW_CAP",
+        kind: "int",
+        default: "65536",
+        doc: "Finished-record ring capacity for the pipeline viewer; oldest are evicted first.",
+    },
+    Knob {
         name: "LSQ_PROFILE",
         kind: "flag",
         default: "off",

@@ -16,7 +16,9 @@
 use lsq::core::{LsqConfig, PredictorKind, SegAlloc};
 use lsq::experiments::runner::diff_results;
 use lsq::obs::NopTracer;
-use lsq::pipeline::{NopProfiler, SimConfig, SimResult, Simulator, SlotAccountant};
+use lsq::pipeline::{
+    NopAccountant, NopProfiler, PipeviewRecorder, SimConfig, SimResult, Simulator, SlotAccountant,
+};
 use lsq::trace::BenchProfile;
 
 const WARMUP: u64 = 3_000;
@@ -48,6 +50,28 @@ fn run_accounted(bench: &str, lsq_cfg: LsqConfig, polling: bool) -> SimResult {
         NopTracer,
         NopProfiler,
         SlotAccountant::new(),
+    );
+    if polling {
+        sim.set_reference_scheduler();
+    }
+    sim.prewarm(&stream.data_regions(), stream.code_region());
+    let _ = sim.run(&mut stream, WARMUP);
+    let before = sim.run(&mut stream, 0);
+    let after = sim.run(&mut stream, INSTRS);
+    diff_results(&before, &after)
+}
+
+/// Like [`run`], but with the lifecycle recorder attached, so the
+/// differenced result carries per-stage latency histograms.
+fn run_recorded(bench: &str, lsq_cfg: LsqConfig, polling: bool) -> SimResult {
+    let profile = BenchProfile::named(bench).expect("known benchmark");
+    let mut stream = profile.stream(1);
+    let mut sim = Simulator::with_lifecycle(
+        SimConfig::with_lsq(lsq_cfg),
+        NopTracer,
+        NopProfiler,
+        NopAccountant,
+        PipeviewRecorder::new(4096),
     );
     if polling {
         sim.set_reference_scheduler();
@@ -122,6 +146,41 @@ fn accounting_is_invisible_and_partitions_every_slot() {
                 stack.slots("base"),
                 accounted.committed,
                 "{bench}/{label}: base slots must equal committed instructions"
+            );
+        }
+    }
+}
+
+/// The lifecycle recorder is pure observability, same contract as the
+/// accountant: attaching it must leave every architectural counter
+/// bit-identical across all four design points, and the stage-latency
+/// histograms it emits must cover every committed instruction of the
+/// measured window exactly once.
+#[test]
+fn lifecycle_recording_is_invisible_and_covers_every_commit() {
+    for bench in ["gzip", "mcf"] {
+        for (label, cfg) in design_points() {
+            let plain = run(bench, cfg, false);
+            let mut recorded = run_recorded(bench, cfg, false);
+            let stages = recorded
+                .stage_latency
+                .take()
+                .expect("recorded run reports stage latencies");
+            assert_eq!(
+                format!("{plain:?}"),
+                format!("{recorded:?}"),
+                "{bench}/{label}: lifecycle recording perturbed the simulation"
+            );
+            // Every committed instruction was dispatched and issued, and
+            // the recorder was attached for the whole run, so the
+            // windowed dispatch→issue histogram observes each exactly
+            // once.
+            let (name, dispatch_to_issue) = stages.stages()[0];
+            assert_eq!(name, "dispatch_to_issue");
+            assert_eq!(
+                dispatch_to_issue.count(),
+                recorded.committed,
+                "{bench}/{label}: dispatch→issue must cover every committed instruction"
             );
         }
     }
